@@ -1,0 +1,52 @@
+//! Ablation: A*Prune's admissible latency lower bound (the Dijkstra `ar[]`
+//! table of Algorithm 1) on vs. off — how much pruning the bound buys in
+//! expanded partial paths and wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emumap_core::{Hmn, HmnConfig, Mapper};
+use emumap_workloads::{instantiate, ClusterSpec, Scenario, WorkloadKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_astar_bound(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper();
+    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
+
+    let with = Hmn::new();
+    let without = Hmn::with_config(HmnConfig {
+        use_latency_lower_bound: false,
+        ..Default::default()
+    });
+
+    for (name, mapper) in [("with lower bound", &with), ("without lower bound", &without)] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        match mapper.map(&inst.phys, &inst.venv, &mut rng) {
+            Ok(out) => eprintln!(
+                "[ablation_astar_bound] {name}: {} partial paths expanded, networking {:?}",
+                out.stats.astar_expansions, out.stats.networking_time
+            ),
+            Err(e) => eprintln!("[ablation_astar_bound] {name}: FAILED ({e})"),
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_astar_bound");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, mapper) in [("with_bound", with), ("without_bound", without)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                mapper
+                    .map(&inst.phys, &inst.venv, &mut rng)
+                    .map(|o| o.stats.astar_expansions)
+                    .ok()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_astar_bound);
+criterion_main!(benches);

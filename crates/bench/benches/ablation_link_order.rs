@@ -1,0 +1,51 @@
+//! Ablation: the descending-bandwidth link ordering used by Hosting and
+//! Networking ("the assignment starts from guests whose links have
+//! high-bandwidth") vs. ascending and random orders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emumap_core::{Hmn, HmnConfig, LinkOrder, Mapper};
+use emumap_workloads::{instantiate, ClusterSpec, Scenario, WorkloadKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_link_order(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper();
+    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
+
+    let orders = [
+        ("descending_bw", LinkOrder::DescendingBandwidth),
+        ("ascending_bw", LinkOrder::AscendingBandwidth),
+        ("random", LinkOrder::Random),
+    ];
+
+    for (name, order) in orders {
+        let mapper = Hmn::with_config(HmnConfig { link_order: order, ..Default::default() });
+        let mut rng = SmallRng::seed_from_u64(1);
+        match mapper.map(&inst.phys, &inst.venv, &mut rng) {
+            Ok(out) => eprintln!(
+                "[ablation_link_order] {name}: ok, objective {:.1}, intra-host links {}",
+                out.objective, out.stats.intra_host_links
+            ),
+            Err(e) => eprintln!("[ablation_link_order] {name}: FAILED ({e})"),
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_link_order");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, order) in orders {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            let mapper = Hmn::with_config(HmnConfig { link_order: order, ..Default::default() });
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                mapper.map(&inst.phys, &inst.venv, &mut rng).map(|o| o.objective).ok()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_link_order);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: the Migration stage on vs. off — how much of HMN's objective
+//! advantage (and time) comes from the load-balancing pass. The paper
+//! predicts its value shrinks as the guest/host ratio rises ("more guests
+//! reduce the chance of migrations").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emumap_core::{Hmn, HmnConfig, Mapper, MigrationPolicy};
+use emumap_workloads::{instantiate, ClusterSpec, Scenario, WorkloadKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_migration_ablation(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper();
+    let with = Hmn::new();
+    let without = Hmn::with_config(HmnConfig { migration: MigrationPolicy::Off, ..Default::default() });
+    let exhaustive =
+        Hmn::with_config(HmnConfig { migration: MigrationPolicy::Exhaustive, ..Default::default() });
+
+    // Quality report across ratios: migration's benefit should shrink as
+    // ratio grows.
+    eprintln!("[ablation_migration] objective with vs. without migration:");
+    for ratio in [2.5, 5.0, 10.0] {
+        let scenario = Scenario { ratio, density: 0.02, workload: WorkloadKind::HighLevel };
+        let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a = with.map(&inst.phys, &inst.venv, &mut rng);
+        let b = without.map(&inst.phys, &inst.venv, &mut rng);
+        let c = exhaustive.map(&inst.phys, &inst.venv, &mut rng);
+        if let (Ok(a), Ok(b), Ok(c)) = (a, b, c) {
+            eprintln!(
+                "  {ratio:>4}:1  paper {:>8.1} ({} moves)   off {:>8.1}   exhaustive {:>8.1} ({} moves)",
+                a.objective, a.stats.migrations, b.objective, c.objective, c.stats.migrations,
+            );
+        }
+    }
+
+    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
+    let mut group = c.benchmark_group("ablation_migration");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, mapper) in [
+        ("paper_migration", with),
+        ("without_migration", without),
+        ("exhaustive_migration", exhaustive),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                mapper.map(&inst.phys, &inst.venv, &mut rng).map(|o| o.objective).ok()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_migration_ablation);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: the Networking stage's path metric — the paper's bottleneck
+//! bandwidth ("keep the links with the largest amount of bandwidth
+//! available to map the rest of the links") vs. classic hop count.
+//!
+//! Besides the timing, the setup prints the quality difference once:
+//! routing-failure behaviour and post-mapping residual-bandwidth spread
+//! under both metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emumap_core::{Hmn, HmnConfig, Mapper, PathMetric};
+use emumap_workloads::{instantiate, ClusterSpec, Scenario, WorkloadKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn config_for(metric: PathMetric) -> HmnConfig {
+    HmnConfig { path_metric: metric, ..Default::default() }
+}
+
+fn bench_path_metric(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper();
+    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
+
+    // One-shot quality report.
+    for (name, metric) in [
+        ("bottleneck-bw (paper)", PathMetric::BottleneckBandwidth),
+        ("hop-count (ablation)", PathMetric::HopCount),
+    ] {
+        let mut rng = SmallRng::seed_from_u64(1);
+        match Hmn::with_config(config_for(metric)).map(&inst.phys, &inst.venv, &mut rng) {
+            Ok(out) => eprintln!(
+                "[ablation_path_metric] {name}: ok, objective {:.1}, {} expansions",
+                out.objective, out.stats.astar_expansions
+            ),
+            Err(e) => eprintln!("[ablation_path_metric] {name}: FAILED ({e})"),
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_path_metric");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, metric) in [
+        ("bottleneck_bw", PathMetric::BottleneckBandwidth),
+        ("hop_count", PathMetric::HopCount),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            let mapper = Hmn::with_config(config_for(metric));
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                mapper.map(&inst.phys, &inst.venv, &mut rng).map(|o| o.objective).ok()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_metric);
+criterion_main!(benches);

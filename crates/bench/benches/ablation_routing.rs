@@ -1,0 +1,50 @@
+//! Ablation: the paper's modified A*Prune vs. the classical
+//! K-shortest-paths routing (the ALEVIN-style VNE baseline) at several k.
+//! Reports success/objective once and benches wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use emumap_core::{Hmn, HmnKsp, Mapper};
+use emumap_workloads::{instantiate, ClusterSpec, Scenario, WorkloadKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_routing(c: &mut Criterion) {
+    let cluster = ClusterSpec::paper();
+    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
+
+    let mappers: Vec<(String, Box<dyn Mapper>)> = vec![
+        ("astar_prune".to_string(), Box::new(Hmn::new())),
+        ("ksp_k1".to_string(), Box::new(HmnKsp { k: 1 })),
+        ("ksp_k4".to_string(), Box::new(HmnKsp { k: 4 })),
+        ("ksp_k16".to_string(), Box::new(HmnKsp { k: 16 })),
+    ];
+
+    for (name, mapper) in &mappers {
+        let mut rng = SmallRng::seed_from_u64(1);
+        match mapper.map(&inst.phys, &inst.venv, &mut rng) {
+            Ok(out) => eprintln!(
+                "[ablation_routing] {name}: ok, objective {:.1}, networking {:?}",
+                out.objective, out.stats.networking_time
+            ),
+            Err(e) => eprintln!("[ablation_routing] {name}: FAILED ({e})"),
+        }
+    }
+
+    let mut group = c.benchmark_group("ablation_routing");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (name, mapper) in &mappers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
+            b.iter(|| {
+                let mut rng = SmallRng::seed_from_u64(1);
+                mapper.map(&inst.phys, &inst.venv, &mut rng).map(|o| o.objective).ok()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

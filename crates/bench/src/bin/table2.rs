@@ -1,0 +1,51 @@
+//! Regenerates **Table 2** (objective function and failures): mean Eq. 10
+//! objective per scenario × {HMN, R, RA, HS} × {torus, switched}, plus the
+//! failure-count row.
+//!
+//! ```sh
+//! cargo run --release -p emumap-bench --bin table2 -- --reps 30
+//! ```
+//!
+//! Writes the raw cells to `results/table2.json` for EXPERIMENTS.md.
+
+use emumap_bench::cli::parse_args;
+use emumap_bench::report::render_table;
+use emumap_bench::runner::{run_grid, MapperKind};
+use emumap_workloads::paper_scenarios;
+
+fn main() {
+    let args = parse_args("table2", "objective function and failures (paper Table 2)");
+    let scenarios = paper_scenarios();
+    let labels: Vec<String> = scenarios.iter().map(|s| s.label()).collect();
+
+    eprintln!(
+        "running {} scenarios x 2 clusters x 4 mappers x {} reps (seed {}, attempts {})...",
+        scenarios.len(),
+        args.config.reps,
+        args.config.seed,
+        args.config.max_attempts
+    );
+    let start = std::time::Instant::now();
+    let cells = run_grid(&scenarios, &MapperKind::ALL, &args.config);
+    eprintln!("grid finished in {:?}", start.elapsed());
+
+    print!(
+        "{}",
+        render_table(
+            "Table 2 — objective function (Eq. 10, MIPS stddev of residual CPU); — = all reps failed",
+            &labels,
+            &cells,
+            |c| c.mean_objective(),
+            1,
+        )
+    );
+    println!(
+        "\ncolumns: T/x = 2-D torus cluster, S/x = switched cluster; {} reps per cell",
+        args.config.reps
+    );
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&cells).expect("serialize");
+    std::fs::write("results/table2.json", json).expect("write results/table2.json");
+    eprintln!("raw cells -> results/table2.json");
+}

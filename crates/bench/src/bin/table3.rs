@@ -1,0 +1,59 @@
+//! Regenerates **Table 3** (simulation time): mean wall-clock mapping time
+//! per scenario × mapper × cluster.
+//!
+//! Absolute numbers are not comparable to the paper's (2009 Java on the
+//! authors' machine vs. Rust release builds here); the *shape* is what
+//! reproduces: HMN cheapest, HS most expensive, time growing with the
+//! guest count, switched-cluster routing effectively instant.
+//!
+//! ```sh
+//! cargo run --release -p emumap-bench --bin table3 -- --reps 30
+//! ```
+
+use emumap_bench::cli::parse_args;
+use emumap_bench::report::render_table;
+use emumap_bench::runner::{run_grid, Cluster, MapperKind};
+use emumap_workloads::paper_scenarios;
+
+fn main() {
+    let args = parse_args("table3", "mapping wall-clock time (paper Table 3)");
+    let scenarios = paper_scenarios();
+    let labels: Vec<String> = scenarios.iter().map(|s| s.label()).collect();
+
+    eprintln!(
+        "running {} scenarios x 2 clusters x 4 mappers x {} reps...",
+        scenarios.len(),
+        args.config.reps
+    );
+    let start = std::time::Instant::now();
+    let cells = run_grid(&scenarios, &MapperKind::ALL, &args.config);
+    eprintln!("grid finished in {:?}", start.elapsed());
+
+    print!(
+        "{}",
+        render_table(
+            "Table 3 — mapping time (seconds); — = all reps failed",
+            &labels,
+            &cells,
+            |c| c.mean_map_time(),
+            4,
+        )
+    );
+
+    // §5.2's switched-cluster claim: "the mapping time was less than one
+    // second in all scenarios."
+    let switched_max = cells
+        .iter()
+        .filter(|c| c.cluster == Cluster::Switched && c.mapper == MapperKind::Hmn)
+        .filter_map(|c| c.mean_map_time())
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nHMN on the switched cluster: max mean mapping time {switched_max:.4}s \
+         (paper: < 1s in all scenarios)"
+    );
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    let json = serde_json::to_string_pretty(&cells).expect("serialize");
+    std::fs::write("results/table3.json", json).expect("write results/table3.json");
+    eprintln!("raw cells -> results/table3.json");
+}

@@ -1,0 +1,57 @@
+//! Minimal flag parsing shared by the harness binaries (no CLI crate
+//! needed for four numeric flags).
+
+use crate::runner::RunConfig;
+
+/// Common harness options.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessArgs {
+    /// Runner configuration assembled from the flags.
+    pub config: RunConfig,
+    /// `--paper` requests full paper fidelity (30 reps).
+    pub paper_fidelity: bool,
+}
+
+/// Parses `--reps N`, `--seed S`, `--attempts A`, `--threads T`,
+/// `--paper` from `std::env::args`. Unknown flags abort with usage help.
+pub fn parse_args(binary: &str, purpose: &str) -> HarnessArgs {
+    let mut config = RunConfig::default();
+    let mut paper_fidelity = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| die(binary, purpose, &format!("{name} needs a number")))
+        };
+        match arg.as_str() {
+            "--reps" => config.reps = take("--reps") as u32,
+            "--seed" => config.seed = take("--seed"),
+            "--attempts" => config.max_attempts = take("--attempts") as usize,
+            "--threads" => config.threads = take("--threads") as usize,
+            "--paper" => {
+                paper_fidelity = true;
+                config.reps = 30;
+            }
+            "--help" | "-h" => die(binary, purpose, ""),
+            other => die(binary, purpose, &format!("unknown flag {other}")),
+        }
+    }
+    HarnessArgs { config, paper_fidelity }
+}
+
+fn die(binary: &str, purpose: &str, problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}\n");
+    }
+    eprintln!(
+        "{binary} — {purpose}\n\n\
+         usage: cargo run --release -p emumap-bench --bin {binary} [flags]\n\
+         \x20 --reps N       repetitions per scenario cell (default 5; paper: 30)\n\
+         \x20 --seed S       base seed (default 2009)\n\
+         \x20 --attempts A   baseline retry budget (default 200; paper: 100000)\n\
+         \x20 --threads T    worker threads (default: all cores)\n\
+         \x20 --paper        30 reps (full paper protocol)"
+    );
+    std::process::exit(if problem.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,89 @@
+//! Summary statistics for the experiment harness.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than two
+/// values. Used for the "average ± stddev over 30 repetitions" reporting.
+pub fn sample_stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|&v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+/// Returns `None` when undefined (fewer than two points or zero variance
+/// on either side).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    assert_eq!(x.len(), y.len(), "pearson requires paired samples");
+    if x.len() < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(x), mean(y));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y.iter()) {
+        cov += (a - mx) * (b - my);
+        vx += (a - mx).powi(2);
+        vy += (b - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn sample_stddev_uses_n_minus_1() {
+        assert_eq!(sample_stddev(&[5.0]), 0.0);
+        // Var of {2, 4} with n-1: (1+1)/1 = 2, stddev = sqrt(2).
+        assert!((sample_stddev(&[2.0, 4.0]) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [10.0, 20.0, 30.0, 40.0];
+        let y_neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &y_pos).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &y_neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_for_orthogonal() {
+        let x = [-1.0, 0.0, 1.0];
+        let y = [1.0, -2.0, 1.0]; // symmetric around x=0
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None); // zero variance
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,564 @@
+//! Subcommand implementations.
+
+use crate::args::Parsed;
+use emumap_core::{
+    cluster_diagnostics, BestFit, ConsolidatingHmn, FirstFitDecreasing, HeuristicPool, Hmn,
+    HostingDfs, MapOutcome, Mapper, PoolPolicy, RandomAStar, RandomDfs, WorstFit,
+};
+use emumap_model::{
+    validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment,
+};
+use emumap_sim::{run_experiment, ExperimentSpec};
+use emumap_workloads::{ClusterSpec, ClusterTopology, VirtualEnvSpec};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+/// CLI failures, each mapping to a non-zero exit code with a message.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad usage: unknown subcommand, missing/invalid flags.
+    Usage(String),
+    /// Filesystem or JSON trouble.
+    Io(String),
+    /// The requested mapping could not be produced.
+    Mapping(String),
+    /// Validation found violations.
+    Invalid(Vec<String>),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "usage error: {m}\n\n{USAGE}"),
+            CliError::Io(m) => write!(f, "io error: {m}"),
+            CliError::Mapping(m) => write!(f, "mapping failed: {m}"),
+            CliError::Invalid(violations) => {
+                writeln!(f, "mapping is INVALID ({} violations):", violations.len())?;
+                for v in violations {
+                    writeln!(f, "  - {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+emumap — map virtual machines and links onto emulation testbeds (HMN, ICPP 2009)
+
+subcommands:
+  gen-cluster --topology torus|switched [--hosts N] [--seed S] -o phys.json
+      generate the paper's heterogeneous cluster (default 40 hosts)
+  gen-venv --workload high|low --guests N --density D [--seed S] -o venv.json
+      generate a Table 1 virtual environment
+  map --phys phys.json --venv venv.json
+      [--mapper hmn|r|ra|hs|ffd|bf|wf|consolidate|pool]
+      [--seed S] [--attempts A] [-o mapping.json]
+      map the environment; prints objective and stats; on failure prints
+      capacity diagnostics (memory/CPU/latency/bandwidth headroom)
+  validate --phys phys.json --venv venv.json --mapping mapping.json
+      check a mapping against the formal model (Eqs. 1-9)
+  simulate --phys phys.json --venv venv.json --mapping mapping.json
+      [--rounds N] [--work-factor F] [--msg-kbits K]
+      run the emulated experiment and print its execution time
+  inspect --phys phys.json [--venv venv.json] [--mapping mapping.json]
+      [--dot out.dot]
+      summarize a topology / environment / mapping; optionally export the
+      physical topology as Graphviz DOT
+  help
+      print this text";
+
+fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
+    let data = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+    serde_json::from_str(&data).map_err(|e| CliError::Io(format!("parsing {path}: {e}")))
+}
+
+fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| CliError::Io(format!("creating {}: {e}", parent.display())))?;
+        }
+    }
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| CliError::Io(format!("serializing: {e}")))?;
+    std::fs::write(path, json).map_err(|e| CliError::Io(format!("writing {path}: {e}")))
+}
+
+fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError> {
+    Ok(match name {
+        "hmn" => Box::new(Hmn::new()),
+        "r" => Box::new(RandomDfs { max_attempts: attempts }),
+        "ra" => Box::new(RandomAStar { max_attempts: attempts, ..Default::default() }),
+        "hs" => Box::new(HostingDfs { max_attempts: attempts }),
+        "ffd" => Box::new(FirstFitDecreasing::default()),
+        "bf" => Box::new(BestFit::default()),
+        "wf" => Box::new(WorstFit::default()),
+        "consolidate" => Box::new(ConsolidatingHmn::default()),
+        "pool" => Box::new(HeuristicPool::new(
+            vec![
+                Box::new(Hmn::new()),
+                Box::new(RandomAStar { max_attempts: attempts, ..Default::default() }),
+                Box::new(RandomDfs { max_attempts: attempts }),
+            ],
+            PoolPolicy::FirstSuccess,
+        )),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown mapper '{other}' (hmn|r|ra|hs|ffd|bf|wf|consolidate|pool)"
+            )))
+        }
+    })
+}
+
+/// Runs a parsed command line; returns lines to print on success.
+pub fn run(parsed: &Parsed) -> Result<Vec<String>, CliError> {
+    match parsed.subcommand.as_str() {
+        "gen-cluster" => gen_cluster(parsed),
+        "gen-venv" => gen_venv(parsed),
+        "map" => map_cmd(parsed),
+        "validate" => validate_cmd(parsed),
+        "simulate" => simulate_cmd(parsed),
+        "inspect" => inspect_cmd(parsed),
+        "help" | "-h" | "--help" => Ok(vec![USAGE.to_string()]),
+        other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+fn gen_cluster(p: &Parsed) -> Result<Vec<String>, CliError> {
+    let topology = match p.optional("topology").unwrap_or("torus") {
+        "torus" => ClusterSpec::paper_torus(),
+        "switched" => ClusterSpec::paper_switched(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown topology '{other}' (torus|switched)"
+            )))
+        }
+    };
+    let hosts: usize = p.parse_or("hosts", 40).map_err(CliError::Usage)?;
+    let seed: u64 = p.parse_or("seed", 2009).map_err(CliError::Usage)?;
+    let out = p.required("out").map_err(CliError::Usage)?;
+
+    let mut spec = ClusterSpec::paper();
+    spec.hosts = hosts;
+    let topology = match topology {
+        // The paper's torus is 5x8; other host counts need a near-square
+        // factorization.
+        ClusterTopology::Torus2D { .. } if hosts != 40 => {
+            let rows = (1..=hosts)
+                .filter(|r| hosts.is_multiple_of(*r))
+                .min_by_key(|&r| (hosts / r).abs_diff(r))
+                .unwrap_or(1);
+            ClusterTopology::Torus2D { rows, cols: hosts / rows }
+        }
+        t => t,
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let phys = spec.build(topology, &mut rng);
+    write_json(out, &phys)?;
+    Ok(vec![format!(
+        "wrote {out}: {} hosts, {} links ({:?})",
+        phys.host_count(),
+        phys.graph().edge_count(),
+        topology
+    )])
+}
+
+fn gen_venv(p: &Parsed) -> Result<Vec<String>, CliError> {
+    let guests: usize = p.parse_or("guests", 100).map_err(CliError::Usage)?;
+    let density: f64 = p.parse_or("density", 0.02).map_err(CliError::Usage)?;
+    let seed: u64 = p.parse_or("seed", 2009).map_err(CliError::Usage)?;
+    let out = p.required("out").map_err(CliError::Usage)?;
+    let spec = match p.optional("workload").unwrap_or("high") {
+        "high" => VirtualEnvSpec::high_level(guests, density),
+        "low" => VirtualEnvSpec::low_level(guests, density),
+        other => {
+            return Err(CliError::Usage(format!("unknown workload '{other}' (high|low)")))
+        }
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let venv = spec.generate(&mut rng);
+    write_json(out, &venv)?;
+    Ok(vec![format!(
+        "wrote {out}: {} guests, {} virtual links",
+        venv.guest_count(),
+        venv.link_count()
+    )])
+}
+
+fn map_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
+    let phys: PhysicalTopology = read_json(p.required("phys").map_err(CliError::Usage)?)?;
+    let venv: VirtualEnvironment = read_json(p.required("venv").map_err(CliError::Usage)?)?;
+    let seed: u64 = p.parse_or("seed", 2009).map_err(CliError::Usage)?;
+    let attempts: usize = p
+        .parse_or("attempts", emumap_core::DEFAULT_MAX_ATTEMPTS)
+        .map_err(CliError::Usage)?;
+    let mapper = build_mapper(p.optional("mapper").unwrap_or("hmn"), attempts)?;
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let outcome: MapOutcome = mapper.map(&phys, &venv, &mut rng).map_err(|e| {
+        let d = cluster_diagnostics(&phys, &venv);
+        CliError::Mapping(format!(
+            "{e}\n  diagnostics:\n    memory  : {} / {} MB demanded ({:.1}%)\n    cpu     : {:.0} / {:.0} MIPS demanded ({:.1}%)\n    latency : cluster diameter {:.1} ms vs tightest bound {:.1} ms\n    bandwidth: {:.0} / {:.0} kbps total demand ({:.1}%)",
+            d.mem_demand_mb,
+            d.mem_capacity_mb,
+            100.0 * d.mem_demand_mb as f64 / d.mem_capacity_mb.max(1) as f64,
+            d.proc_demand_mips,
+            d.proc_capacity_mips,
+            100.0 * d.proc_demand_mips / d.proc_capacity_mips.max(1.0),
+            d.latency_diameter_ms,
+            d.min_latency_bound_ms,
+            d.bw_demand_kbps,
+            d.bw_capacity_kbps,
+            100.0 * d.bw_demand_kbps / d.bw_capacity_kbps.max(1.0),
+        ))
+    })?;
+
+    // Always re-verify before emitting anything.
+    validate_mapping(&phys, &venv, &outcome.mapping).map_err(|violations| {
+        CliError::Invalid(violations.iter().map(|v| v.to_string()).collect())
+    })?;
+
+    let mut lines = vec![
+        format!("mapper          : {}", mapper.name()),
+        format!("objective (Eq10): {:.3} MIPS stddev", outcome.objective),
+        format!("hosts used      : {}/{}", outcome.mapping.hosts_used(), phys.host_count()),
+        format!(
+            "links           : {} routed, {} intra-host",
+            outcome.mapping.routed_link_count(),
+            outcome.mapping.intra_host_link_count()
+        ),
+        format!("attempts        : {}", outcome.stats.attempts),
+        format!("map time        : {:?}", outcome.stats.total_time),
+    ];
+    if let Some(out) = p.optional("out") {
+        write_json(out, &outcome.mapping)?;
+        lines.push(format!("wrote {out}"));
+    }
+    Ok(lines)
+}
+
+fn validate_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
+    let phys: PhysicalTopology = read_json(p.required("phys").map_err(CliError::Usage)?)?;
+    let venv: VirtualEnvironment = read_json(p.required("venv").map_err(CliError::Usage)?)?;
+    let mapping: Mapping = read_json(p.required("mapping").map_err(CliError::Usage)?)?;
+    match validate_mapping(&phys, &venv, &mapping) {
+        Ok(()) => Ok(vec![format!(
+            "VALID: {} guests on {} hosts, {} routed links satisfy Eqs. 1-9",
+            mapping.guest_count(),
+            mapping.hosts_used(),
+            mapping.routed_link_count()
+        )]),
+        Err(violations) => Err(CliError::Invalid(
+            violations.iter().map(|v| v.to_string()).collect(),
+        )),
+    }
+}
+
+fn simulate_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
+    let phys: PhysicalTopology = read_json(p.required("phys").map_err(CliError::Usage)?)?;
+    let venv: VirtualEnvironment = read_json(p.required("venv").map_err(CliError::Usage)?)?;
+    let mapping: Mapping = read_json(p.required("mapping").map_err(CliError::Usage)?)?;
+    validate_mapping(&phys, &venv, &mapping).map_err(|violations| {
+        CliError::Invalid(violations.iter().map(|v| v.to_string()).collect())
+    })?;
+    let spec = ExperimentSpec {
+        rounds: p.parse_or("rounds", 10).map_err(CliError::Usage)?,
+        work_factor: p.parse_or("work-factor", 1.0).map_err(CliError::Usage)?,
+        msg_kbits: p.parse_or("msg-kbits", 50.0).map_err(CliError::Usage)?,
+        ..Default::default()
+    };
+    let result = run_experiment(&phys, &venv, &mapping, &spec);
+    Ok(vec![
+        format!("experiment time : {:.4}s ({} rounds)", result.total_s, spec.rounds),
+        format!("  compute       : {:.4}s", result.compute_s),
+        format!("  network       : {:.4}s", result.network_s),
+    ])
+}
+
+fn inspect_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
+    let phys: PhysicalTopology = read_json(p.required("phys").map_err(CliError::Usage)?)?;
+    let mut lines = Vec::new();
+
+    let switches = phys.graph().node_count() - phys.host_count();
+    lines.push(format!(
+        "physical : {} hosts + {} switches, {} links",
+        phys.host_count(),
+        switches,
+        phys.graph().edge_count()
+    ));
+    let total_proc = phys.total_effective_proc().value();
+    let total_mem: u64 = phys.hosts().iter().map(|&h| phys.effective_mem(h).value()).sum();
+    let total_stor: f64 = phys.hosts().iter().map(|&h| phys.effective_stor(h).value()).sum();
+    lines.push(format!(
+        "capacity : {total_proc:.0} MIPS, {total_mem} MB memory, {total_stor:.0} GB storage"
+    ));
+    if let Some(d) = emumap_graph::algo::diameter(phys.graph(), |_, l| l.lat.value()) {
+        lines.push(format!("network  : latency diameter {d:.1} ms"));
+    }
+
+    let venv: Option<VirtualEnvironment> = match p.optional("venv") {
+        Some(path) => Some(read_json(path)?),
+        None => None,
+    };
+    if let Some(venv) = &venv {
+        let d = cluster_diagnostics(&phys, venv);
+        lines.push(format!(
+            "virtual  : {} guests, {} links; memory load {:.1}%, CPU load {:.1}%, \
+             bandwidth load {:.1}%",
+            venv.guest_count(),
+            venv.link_count(),
+            100.0 * d.mem_demand_mb as f64 / d.mem_capacity_mb.max(1) as f64,
+            100.0 * d.proc_demand_mips / d.proc_capacity_mips.max(1.0),
+            100.0 * d.bw_demand_kbps / d.bw_capacity_kbps.max(1.0),
+        ));
+        if d.min_latency_bound_ms < d.latency_diameter_ms {
+            lines.push(format!(
+                "warning  : tightest virtual latency bound ({:.1} ms) is below the \
+                 cluster diameter ({:.1} ms); some placements will be unroutable",
+                d.min_latency_bound_ms, d.latency_diameter_ms
+            ));
+        }
+    }
+
+    if let Some(path) = p.optional("mapping") {
+        let venv = venv
+            .as_ref()
+            .ok_or_else(|| CliError::Usage("--mapping requires --venv".to_string()))?;
+        let mapping: Mapping = read_json(path)?;
+        let valid = validate_mapping(&phys, venv, &mapping).is_ok();
+        lines.push(format!(
+            "mapping  : {} hosts used, {} routed / {} intra-host links, objective {:.1} — {}",
+            mapping.hosts_used(),
+            mapping.routed_link_count(),
+            mapping.intra_host_link_count(),
+            emumap_model::objective::mapping_objective(&phys, venv, &mapping),
+            if valid { "VALID" } else { "INVALID (run `emumap validate` for details)" },
+        ));
+        // Per-host occupancy sparkline.
+        let groups = mapping.guests_by_host();
+        let occupancy: Vec<usize> = phys
+            .hosts()
+            .iter()
+            .map(|h| groups.get(h).map(Vec::len).unwrap_or(0))
+            .collect();
+        let max = occupancy.iter().copied().max().unwrap_or(0).max(1);
+        const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let bars: String = occupancy
+            .iter()
+            .map(|&c| LEVELS[(c * 8).div_ceil(max).min(8)])
+            .collect();
+        lines.push(format!("occupancy: [{bars}] (max {max} guests/host)"));
+    }
+
+    if let Some(out) = p.optional("dot") {
+        let dot = emumap_graph::to_dot(
+            phys.graph(),
+            &emumap_graph::DotOptions { name: "cluster".to_string(), graph_attrs: String::new() },
+            |id, node| match node {
+                emumap_model::PhysNode::Host(spec) => format!(
+                    "label=\"h{}\\n{:.0} MIPS\", shape=box",
+                    id.index(),
+                    spec.proc.value()
+                ),
+                emumap_model::PhysNode::Switch => {
+                    format!("label=\"sw{}\", shape=diamond", id.index())
+                }
+            },
+            |_, link| format!("label=\"{:.0}\"", link.bw.value()),
+        );
+        std::fs::write(out, dot).map_err(|e| CliError::Io(format!("writing {out}: {e}")))?;
+        lines.push(format!("wrote DOT -> {out}"));
+    }
+
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Parsed;
+
+    fn run_tokens(tokens: &[&str]) -> Result<Vec<String>, CliError> {
+        let parsed =
+            Parsed::parse_with_aliases(tokens.iter().map(|s| s.to_string())).expect("parse");
+        run(&parsed)
+    }
+
+    fn tmpdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "emumap-cli-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn full_pipeline_roundtrips_through_json() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let mapping = dir.join("mapping.json");
+        let phys_s = phys.to_str().unwrap();
+        let venv_s = venv.to_str().unwrap();
+        let mapping_s = mapping.to_str().unwrap();
+
+        run_tokens(&["gen-cluster", "--topology", "switched", "--seed", "1", "-o", phys_s])
+            .expect("gen-cluster");
+        run_tokens(&[
+            "gen-venv", "--workload", "high", "--guests", "60", "--density", "0.03", "--seed",
+            "2", "-o", venv_s,
+        ])
+        .expect("gen-venv");
+        let lines = run_tokens(&[
+            "map", "--phys", phys_s, "--venv", venv_s, "--mapper", "hmn", "-o", mapping_s,
+        ])
+        .expect("map");
+        assert!(lines.iter().any(|l| l.contains("objective")));
+
+        let lines = run_tokens(&[
+            "validate", "--phys", phys_s, "--venv", venv_s, "--mapping", mapping_s,
+        ])
+        .expect("validate");
+        assert!(lines[0].starts_with("VALID"));
+
+        let lines = run_tokens(&[
+            "simulate", "--phys", phys_s, "--venv", venv_s, "--mapping", mapping_s, "--rounds",
+            "3",
+        ])
+        .expect("simulate");
+        assert!(lines[0].contains("experiment time"));
+
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn every_mapper_name_builds() {
+        for name in ["hmn", "r", "ra", "hs", "consolidate", "pool"] {
+            assert!(build_mapper(name, 10).is_ok(), "{name}");
+        }
+        assert!(matches!(build_mapper("nope", 10), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_a_usage_error() {
+        assert!(matches!(run_tokens(&["frobnicate"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let lines = run_tokens(&["help"]).unwrap();
+        assert!(lines[0].contains("subcommands"));
+    }
+
+    #[test]
+    fn gen_cluster_nonstandard_host_count_factorizes_torus() {
+        let dir = tmpdir();
+        let phys = dir.join("p36.json");
+        let phys_s = phys.to_str().unwrap();
+        let lines = run_tokens(&[
+            "gen-cluster", "--topology", "torus", "--hosts", "36", "--seed", "3", "-o", phys_s,
+        ])
+        .unwrap();
+        assert!(lines[0].contains("36 hosts"), "{lines:?}");
+        let loaded: PhysicalTopology = read_json(phys_s).unwrap();
+        assert_eq!(loaded.host_count(), 36);
+        assert_eq!(loaded.graph().edge_count(), 72); // 6x6 torus, 4-regular
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn validate_rejects_corrupted_mapping() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let mapping = dir.join("mapping.json");
+        let phys_s = phys.to_str().unwrap();
+        let venv_s = venv.to_str().unwrap();
+        let mapping_s = mapping.to_str().unwrap();
+
+        run_tokens(&["gen-cluster", "--seed", "1", "-o", phys_s]).unwrap();
+        run_tokens(&["gen-venv", "--guests", "10", "--density", "0.2", "--seed", "2", "-o", venv_s])
+            .unwrap();
+        run_tokens(&["map", "--phys", phys_s, "--venv", venv_s, "-o", mapping_s]).unwrap();
+
+        // Corrupt: drop one route from the mapping JSON.
+        let mut m: Mapping = read_json(mapping_s).unwrap();
+        let mut routes = m.routes().to_vec();
+        routes.pop();
+        m = Mapping::new(m.placement().to_vec(), routes);
+        write_json(mapping_s, &m).unwrap();
+
+        let err = run_tokens(&[
+            "validate", "--phys", phys_s, "--venv", venv_s, "--mapping", mapping_s,
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Invalid(_)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn inspect_summarizes_and_exports_dot() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let mapping = dir.join("mapping.json");
+        let dot = dir.join("cluster.dot");
+        let (phys_s, venv_s, mapping_s, dot_s) = (
+            phys.to_str().unwrap(),
+            venv.to_str().unwrap(),
+            mapping.to_str().unwrap(),
+            dot.to_str().unwrap(),
+        );
+        run_tokens(&["gen-cluster", "--topology", "torus", "--seed", "4", "-o", phys_s]).unwrap();
+        run_tokens(&["gen-venv", "--guests", "50", "--density", "0.05", "--seed", "5", "-o", venv_s])
+            .unwrap();
+        run_tokens(&["map", "--phys", phys_s, "--venv", venv_s, "-o", mapping_s]).unwrap();
+        let lines = run_tokens(&[
+            "inspect", "--phys", phys_s, "--venv", venv_s, "--mapping", mapping_s, "--dot", dot_s,
+        ])
+        .unwrap();
+        let text = lines.join("\n");
+        assert!(text.contains("40 hosts"), "{text}");
+        assert!(text.contains("VALID"), "{text}");
+        assert!(text.contains("occupancy"), "{text}");
+        let dot_text = std::fs::read_to_string(dot_s).unwrap();
+        assert!(dot_text.starts_with("graph cluster {"));
+        assert!(dot_text.contains("shape=box"));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn inspect_mapping_requires_venv() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let phys_s = phys.to_str().unwrap();
+        run_tokens(&["gen-cluster", "--seed", "1", "-o", phys_s]).unwrap();
+        let err = run_tokens(&["inspect", "--phys", phys_s, "--mapping", phys_s]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn map_reports_mapper_failure() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let phys_s = phys.to_str().unwrap();
+        let venv_s = venv.to_str().unwrap();
+        run_tokens(&["gen-cluster", "--seed", "1", "-o", phys_s]).unwrap();
+        // 4000 high-level guests cannot fit 40 hosts (memory).
+        run_tokens(&[
+            "gen-venv", "--guests", "4000", "--density", "0.001", "--seed", "2", "-o", venv_s,
+        ])
+        .unwrap();
+        let err = run_tokens(&["map", "--phys", phys_s, "--venv", venv_s]).unwrap_err();
+        assert!(matches!(err, CliError::Mapping(_)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,24 @@
+//! # emumap-cli
+//!
+//! The `emumap` command-line tool: drive the mapping library over JSON
+//! files, the way an emulation frontend would.
+//!
+//! ```sh
+//! emumap gen-cluster --topology torus --seed 1 -o phys.json
+//! emumap gen-venv --workload high --guests 100 --density 0.02 --seed 2 -o venv.json
+//! emumap map --phys phys.json --venv venv.json --mapper hmn -o mapping.json
+//! emumap validate --phys phys.json --venv venv.json --mapping mapping.json
+//! emumap simulate --phys phys.json --venv venv.json --mapping mapping.json --rounds 10
+//! ```
+//!
+//! All subcommand logic lives in this library crate (unit-testable); the
+//! binary is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Parsed};
+pub use commands::{run, CliError};

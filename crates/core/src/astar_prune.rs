@@ -1,0 +1,521 @@
+//! The modified 1-constrained A\*Prune path search (paper §4.3,
+//! Algorithm 1), after Liu & Ramakrishnan (INFOCOM 2001).
+//!
+//! A\*Prune keeps a set of feasible partial paths and repeatedly expands the
+//! most promising one. The paper's modification selects by **greatest
+//! bottleneck bandwidth** ("the rationale ... is to keep the links with the
+//! largest amount of bandwidth available to map the rest of the links") and
+//! prunes with two tests:
+//!
+//! * *bandwidth*: an edge whose residual bandwidth is below the link's
+//!   demand can never appear on a feasible path — drop it;
+//! * *latency admissibility*: `ar[h]` is the unconstrained Dijkstra latency
+//!   from `h` to the destination, an admissible lower bound, so any partial
+//!   path with `accumulated + edge + ar[h] > bound` can never satisfy
+//!   Eq. 8 — drop it. (The paper's pseudocode prints the test as
+//!   `lat((d,h)) + ar[h] <= latency`; we include the accumulated latency of
+//!   the partial path, without which the printed test would accept paths
+//!   that already exceed the bound — the accumulated term is clearly
+//!   intended, as A\*Prune's original definition uses the full
+//!   `g + h`-style estimate.)
+//!
+//! Partial paths are stored in an arena (parent-pointer tree) so expanding
+//! a path is O(1) in memory instead of cloning edge vectors.
+
+use emumap_graph::{EdgeId, NodeId};
+use emumap_model::{Kbps, Millis, PhysicalTopology, ResidualState};
+use std::collections::BinaryHeap;
+
+/// Which quantity the search maximizes when choosing the next partial path
+/// to expand. [`PathMetric::BottleneckBandwidth`] is the paper's choice;
+/// [`PathMetric::HopCount`] is provided for the ablation bench (classic
+/// shortest-path behaviour).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PathMetric {
+    /// Prefer the partial path whose minimum residual edge bandwidth is
+    /// largest (the paper's widest-path metric).
+    #[default]
+    BottleneckBandwidth,
+    /// Prefer the partial path with the fewest hops (ablation).
+    HopCount,
+}
+
+/// Tuning knobs for the search.
+#[derive(Clone, Copy, Debug)]
+pub struct AStarPruneConfig {
+    /// Path-selection metric (paper: bottleneck bandwidth).
+    pub metric: PathMetric,
+    /// Use the Dijkstra latency lower bound `ar[]` for pruning (paper:
+    /// yes). With `false`, pruning only checks the accumulated latency —
+    /// still correct, explores more paths (ablation).
+    pub use_latency_lower_bound: bool,
+    /// Hard cap on expanded partial paths; exceeded means "no path found".
+    /// A safety valve against pathological exponential blow-ups in dense
+    /// graphs; the paper's 40-host clusters stay far below it.
+    pub max_expansions: usize,
+}
+
+impl Default for AStarPruneConfig {
+    fn default() -> Self {
+        AStarPruneConfig {
+            metric: PathMetric::BottleneckBandwidth,
+            use_latency_lower_bound: true,
+            max_expansions: 1_000_000,
+        }
+    }
+}
+
+/// Search statistics, surfaced for Figure 1 analysis and the ablation
+/// benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Partial paths popped from the candidate set.
+    pub expanded: usize,
+    /// Partial paths pushed into the candidate set.
+    pub pushed: usize,
+}
+
+/// One arena slot: a partial path represented as a parent pointer.
+struct PathNode {
+    parent: u32,
+    /// Edge taken from the parent's end node (undefined for the root).
+    edge: EdgeId,
+    /// End node of this partial path.
+    end: NodeId,
+}
+
+const ROOT: u32 = u32::MAX;
+
+/// A candidate in the priority queue. `key` is built so that the
+/// lexicographic max-order of `BinaryHeap` pops the best candidate first
+/// under either metric.
+struct Candidate {
+    key: [f64; 4],
+    arena_index: u32,
+    bottleneck: f64,
+    latency: f64,
+    hops: u32,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for (a, b) in self.key.iter().zip(other.key.iter()) {
+            match a.total_cmp(b) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+fn make_key(metric: PathMetric, bottleneck: f64, latency: f64, hops: u32, seq: u64) -> [f64; 4] {
+    match metric {
+        // Max bottleneck; among equals, min latency, then min hops, then
+        // FIFO (earlier pushes first) for full determinism.
+        PathMetric::BottleneckBandwidth => [bottleneck, -latency, -f64::from(hops), -(seq as f64)],
+        PathMetric::HopCount => [-f64::from(hops), bottleneck, -latency, -(seq as f64)],
+    }
+}
+
+/// Finds a path from `origin` to `destination` with residual bandwidth
+/// `>= demand` on every edge and total latency `<= latency_bound`,
+/// maximizing the configured metric. Returns the edge sequence and search
+/// statistics, or `None` if no feasible path exists (or the expansion cap
+/// was hit).
+///
+/// `ar` must hold, for every node index, a lower bound on the latency from
+/// that node to `destination` (`f64::INFINITY` for unreachable nodes) —
+/// normally the output of [`emumap_graph::algo::dijkstra`] rooted at the
+/// destination. Only consulted when
+/// [`AStarPruneConfig::use_latency_lower_bound`] is set.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's Algorithm 1 signature
+pub fn astar_prune(
+    phys: &PhysicalTopology,
+    residual: &ResidualState,
+    origin: NodeId,
+    destination: NodeId,
+    demand: Kbps,
+    latency_bound: Millis,
+    ar: &[f64],
+    config: &AStarPruneConfig,
+) -> Option<(Vec<EdgeId>, SearchStats)> {
+    let mut stats = SearchStats::default();
+    if origin == destination {
+        return Some((Vec::new(), stats));
+    }
+    let graph = phys.graph();
+    let bound = latency_bound.value();
+    let want = demand.value();
+
+    // Root admissibility: if even the unconstrained latency from the origin
+    // exceeds the bound, no path can exist.
+    if config.use_latency_lower_bound && ar[origin.index()] > bound {
+        return None;
+    }
+
+    let mut arena: Vec<PathNode> = vec![PathNode { parent: ROOT, edge: EdgeId::from_index(0), end: origin }];
+    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    heap.push(Candidate {
+        key: make_key(config.metric, f64::INFINITY, 0.0, 0, seq),
+        arena_index: 0,
+        bottleneck: f64::INFINITY,
+        latency: 0.0,
+        hops: 0,
+    });
+
+    // Scratch buffer for the on-path check (paths are short — the latency
+    // bound caps hops at bound / min-edge-latency).
+    let mut on_path: Vec<NodeId> = Vec::new();
+
+    while let Some(best) = heap.pop() {
+        stats.expanded += 1;
+        if stats.expanded > config.max_expansions {
+            return None;
+        }
+        let node = &arena[best.arena_index as usize];
+        let d = node.end;
+        if d == destination {
+            // Reconstruct the edge sequence.
+            let mut edges = Vec::with_capacity(best.hops as usize);
+            let mut cur = best.arena_index;
+            while arena[cur as usize].parent != ROOT {
+                edges.push(arena[cur as usize].edge);
+                cur = arena[cur as usize].parent;
+            }
+            edges.reverse();
+            return Some((edges, stats));
+        }
+
+        // Collect the nodes already on this partial path (loop check,
+        // Eq. 7).
+        on_path.clear();
+        let mut cur = best.arena_index;
+        loop {
+            on_path.push(arena[cur as usize].end);
+            let p = arena[cur as usize].parent;
+            if p == ROOT {
+                break;
+            }
+            cur = p;
+        }
+
+        for nb in graph.neighbors(d) {
+            let h = nb.node;
+            if on_path.contains(&h) {
+                continue;
+            }
+            // Bandwidth pruning: "links whose available bandwidth are
+            // smaller than the required bandwidth are also pruned."
+            let avail = residual.bw(nb.edge).value();
+            if avail < want {
+                continue;
+            }
+            // Latency pruning with the admissible Dijkstra bound.
+            let step = phys.link(nb.edge).lat.value();
+            let acc = best.latency + step;
+            let optimistic = if config.use_latency_lower_bound { ar[h.index()] } else { 0.0 };
+            if acc + optimistic > bound + 1e-9 {
+                continue;
+            }
+            let bottleneck = best.bottleneck.min(avail);
+            let arena_index = u32::try_from(arena.len()).expect("arena fits in u32");
+            arena.push(PathNode { parent: best.arena_index, edge: nb.edge, end: h });
+            seq += 1;
+            stats.pushed += 1;
+            heap.push(Candidate {
+                key: make_key(config.metric, bottleneck, acc, best.hops + 1, seq),
+                arena_index,
+                bottleneck,
+                latency: acc,
+                hops: best.hops + 1,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emumap_graph::algo::dijkstra;
+    use emumap_graph::generators;
+    use emumap_graph::Graph;
+    use emumap_model::{HostSpec, LinkSpec, MemMb, Mips, PhysNode, StorGb, VmmOverhead};
+
+    /// Physical topology from explicit edges `(a, b, bw, lat)`.
+    fn phys_from_edges(n: usize, edges: &[(usize, usize, f64, f64)]) -> PhysicalTopology {
+        let mut g: Graph<PhysNode, LinkSpec> = Graph::new();
+        let ids: Vec<_> = (0..n)
+            .map(|_| {
+                g.add_node(PhysNode::Host(HostSpec::new(
+                    Mips(1000.0),
+                    MemMb(1024),
+                    StorGb(100.0),
+                )))
+            })
+            .collect();
+        for &(a, b, bw, lat) in edges {
+            g.add_edge(ids[a], ids[b], LinkSpec::new(Kbps(bw), Millis(lat)));
+        }
+        PhysicalTopology::from_graph(g, VmmOverhead::NONE)
+    }
+
+    fn ar_for(phys: &PhysicalTopology, dest: NodeId) -> Vec<f64> {
+        dijkstra(phys.graph(), dest, |_, l| l.lat.value())
+            .distances()
+            .to_vec()
+    }
+
+    fn run(
+        phys: &PhysicalTopology,
+        from: usize,
+        to: usize,
+        demand: f64,
+        bound: f64,
+    ) -> Option<Vec<EdgeId>> {
+        let residual = ResidualState::new(phys);
+        let dest = phys.hosts()[to];
+        let ar = ar_for(phys, dest);
+        astar_prune(
+            phys,
+            &residual,
+            phys.hosts()[from],
+            dest,
+            Kbps(demand),
+            Millis(bound),
+            &ar,
+            &AStarPruneConfig::default(),
+        )
+        .map(|(p, _)| p)
+    }
+
+    #[test]
+    fn picks_widest_path_not_shortest() {
+        // Two routes 0 -> 2: direct but narrow (bw 50), or via 1 and wide
+        // (bw 500 each). Latency allows both.
+        let phys = phys_from_edges(
+            3,
+            &[(0, 2, 50.0, 5.0), (0, 1, 500.0, 5.0), (1, 2, 500.0, 5.0)],
+        );
+        let path = run(&phys, 0, 2, 10.0, 100.0).unwrap();
+        assert_eq!(path.len(), 2, "widest path goes via node 1");
+    }
+
+    #[test]
+    fn latency_bound_forces_short_path() {
+        // Same shape, but the bound only admits the direct edge.
+        let phys = phys_from_edges(
+            3,
+            &[(0, 2, 50.0, 5.0), (0, 1, 500.0, 5.0), (1, 2, 500.0, 5.0)],
+        );
+        let path = run(&phys, 0, 2, 10.0, 5.0).unwrap();
+        assert_eq!(path.len(), 1, "only the direct edge satisfies 5 ms");
+    }
+
+    #[test]
+    fn bandwidth_pruning_rejects_narrow_edges() {
+        let phys = phys_from_edges(
+            3,
+            &[(0, 2, 50.0, 5.0), (0, 1, 500.0, 5.0), (1, 2, 500.0, 5.0)],
+        );
+        // Demand 100 kbps rules out the direct 50 kbps edge.
+        let path = run(&phys, 0, 2, 100.0, 100.0).unwrap();
+        assert_eq!(path.len(), 2);
+        // Demand 600 kbps rules out everything.
+        assert!(run(&phys, 0, 2, 600.0, 100.0).is_none());
+    }
+
+    #[test]
+    fn infeasible_latency_returns_none() {
+        let phys = phys_from_edges(2, &[(0, 1, 100.0, 10.0)]);
+        assert!(run(&phys, 0, 1, 1.0, 9.9).is_none());
+        assert!(run(&phys, 0, 1, 1.0, 10.0).is_some());
+    }
+
+    #[test]
+    fn same_node_is_empty_path() {
+        let phys = phys_from_edges(2, &[(0, 1, 100.0, 10.0)]);
+        let p = run(&phys, 0, 0, 1.0, 0.0).unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn respects_committed_bandwidth() {
+        let phys = phys_from_edges(2, &[(0, 1, 100.0, 5.0)]);
+        let mut residual = ResidualState::new(&phys);
+        let e: Vec<_> = phys.graph().edge_ids().collect();
+        residual.commit_route(&e, Kbps(60.0));
+        let dest = phys.hosts()[1];
+        let ar = ar_for(&phys, dest);
+        // 50 kbps no longer fits the 40 kbps residual.
+        assert!(astar_prune(
+            &phys,
+            &residual,
+            phys.hosts()[0],
+            dest,
+            Kbps(50.0),
+            Millis(100.0),
+            &ar,
+            &AStarPruneConfig::default(),
+        )
+        .is_none());
+        // 30 kbps does.
+        assert!(astar_prune(
+            &phys,
+            &residual,
+            phys.hosts()[0],
+            dest,
+            Kbps(30.0),
+            Millis(100.0),
+            &ar,
+            &AStarPruneConfig::default(),
+        )
+        .is_some());
+    }
+
+    #[test]
+    fn path_is_loop_free_on_torus() {
+        let shape = generators::torus2d(4, 4);
+        let phys = PhysicalTopology::from_shape(
+            &shape,
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(1000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let residual = ResidualState::new(&phys);
+        let (from, to) = (phys.hosts()[0], phys.hosts()[15]);
+        let ar = ar_for(&phys, to);
+        let (path, _) = astar_prune(
+            &phys,
+            &residual,
+            from,
+            to,
+            Kbps(1.0),
+            Millis(60.0),
+            &ar,
+            &AStarPruneConfig::default(),
+        )
+        .unwrap();
+        // Walk the path, ensuring no repeated node and correct endpoints.
+        let mut cur = from;
+        let mut seen = vec![cur];
+        for e in &path {
+            cur = phys.graph().edge_ref(*e).other(cur);
+            assert!(!seen.contains(&cur));
+            seen.push(cur);
+        }
+        assert_eq!(cur, to);
+    }
+
+    #[test]
+    fn hop_count_metric_finds_shortest() {
+        let phys = phys_from_edges(
+            3,
+            &[(0, 2, 50.0, 5.0), (0, 1, 500.0, 5.0), (1, 2, 500.0, 5.0)],
+        );
+        let residual = ResidualState::new(&phys);
+        let dest = phys.hosts()[2];
+        let ar = ar_for(&phys, dest);
+        let cfg = AStarPruneConfig { metric: PathMetric::HopCount, ..Default::default() };
+        let (path, _) = astar_prune(
+            &phys,
+            &residual,
+            phys.hosts()[0],
+            dest,
+            Kbps(10.0),
+            Millis(100.0),
+            &ar,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(path.len(), 1, "hop-count metric takes the direct edge");
+    }
+
+    #[test]
+    fn lower_bound_pruning_reduces_expansions() {
+        let shape = generators::torus2d(5, 8);
+        let phys = PhysicalTopology::from_shape(
+            &shape,
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(1_000_000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let residual = ResidualState::new(&phys);
+        let (from, to) = (phys.hosts()[0], phys.hosts()[22]);
+        let ar = ar_for(&phys, to);
+        let with_bound = AStarPruneConfig::default();
+        let without_bound =
+            AStarPruneConfig { use_latency_lower_bound: false, ..Default::default() };
+        let (_, s1) = astar_prune(
+            &phys, &residual, from, to, Kbps(1.0), Millis(30.0), &ar, &with_bound,
+        )
+        .unwrap();
+        let (_, s2) = astar_prune(
+            &phys, &residual, from, to, Kbps(1.0), Millis(30.0), &ar, &without_bound,
+        )
+        .unwrap();
+        assert!(
+            s1.expanded <= s2.expanded,
+            "admissible pruning must not expand more ({} vs {})",
+            s1.expanded,
+            s2.expanded
+        );
+    }
+
+    #[test]
+    fn expansion_cap_is_enforced() {
+        let shape = generators::torus2d(5, 8);
+        let phys = PhysicalTopology::from_shape(
+            &shape,
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(1_000_000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let residual = ResidualState::new(&phys);
+        let (from, to) = (phys.hosts()[0], phys.hosts()[39]);
+        let ar = ar_for(&phys, to);
+        let cfg = AStarPruneConfig { max_expansions: 1, ..Default::default() };
+        assert!(astar_prune(
+            &phys,
+            &residual,
+            from,
+            to,
+            Kbps(1.0),
+            Millis(60.0),
+            &ar,
+            &cfg,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let shape = generators::torus2d(4, 5);
+        let phys = PhysicalTopology::from_shape(
+            &shape,
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(1000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let residual = ResidualState::new(&phys);
+        let (from, to) = (phys.hosts()[1], phys.hosts()[18]);
+        let ar = ar_for(&phys, to);
+        let cfg = AStarPruneConfig::default();
+        let a = astar_prune(&phys, &residual, from, to, Kbps(1.0), Millis(60.0), &ar, &cfg);
+        let b = astar_prune(&phys, &residual, from, to, Kbps(1.0), Millis(60.0), &ar, &cfg);
+        assert_eq!(a.map(|(p, _)| p), b.map(|(p, _)| p));
+    }
+}

@@ -1,0 +1,65 @@
+//! Mapper failure modes.
+
+use emumap_model::{GuestId, VLinkId};
+use serde::{Deserialize, Serialize};
+
+/// Why a mapper could not produce a valid mapping.
+///
+/// The paper's heuristics fail hard rather than degrade: "If in some moment
+/// no host supports an unassigned guest, the heuristic fails" (§4.1) and
+/// "If in some moment a path for a virtual link cannot be found, the
+/// heuristic fails" (§4.3). The Table 2 failure counts are counts of these
+/// errors.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MapError {
+    /// The Hosting stage (or a random placement) could not find a host with
+    /// enough memory/storage for this guest.
+    HostingFailed {
+        /// The guest that fit nowhere.
+        guest: GuestId,
+    },
+    /// The Networking stage (or a baseline's DFS router) could not find a
+    /// feasible path for this virtual link.
+    NetworkingFailed {
+        /// The link that could not be routed.
+        link: VLinkId,
+    },
+    /// A retrying mapper (R, RA, HS) exhausted its retry budget.
+    RetriesExhausted {
+        /// How many complete attempts were made.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::HostingFailed { guest } => {
+                write!(f, "hosting failed: no host can receive guest {guest}")
+            }
+            MapError::NetworkingFailed { link } => {
+                write!(f, "networking failed: no feasible path for virtual link {link}")
+            }
+            MapError::RetriesExhausted { attempts } => {
+                write!(f, "no valid mapping found after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MapError::HostingFailed { guest: GuestId::from_index(7) };
+        assert!(format!("{e}").contains("n7"));
+        let e = MapError::NetworkingFailed { link: VLinkId::from_index(3) };
+        assert!(format!("{e}").contains("e3"));
+        let e = MapError::RetriesExhausted { attempts: 100 };
+        assert!(format!("{e}").contains("100"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Classical bin-packing placement strategies combined with A\*Prune
+//! routing — the "pool of different heuristics" the paper's future work
+//! calls for (§6). They give adopters standard reference points around
+//! HMN:
+//!
+//! * [`FirstFitDecreasing`] — guests by descending memory, first host that
+//!   fits (the textbook packing heuristic; also what the feasibility
+//!   precheck certifies);
+//! * [`BestFit`] — guest goes to the feasible host with the *least*
+//!   leftover memory (consolidation-flavoured);
+//! * [`WorstFit`] — guest goes to the feasible host with the *most*
+//!   residual CPU (pure load-balancing greedy, no affinity and no
+//!   migration — a useful ablation of what Hosting's affinity actually
+//!   buys).
+//!
+//! All three route with the Networking stage (descending-bandwidth
+//! A\*Prune), so differences between them and HMN isolate the placement
+//! policy.
+
+use crate::astar_prune::AStarPruneConfig;
+use crate::error::MapError;
+use crate::hosting::links_by_descending_bw;
+use crate::mapper::{MapOutcome, MapStats, Mapper};
+use crate::networking::networking_stage;
+use crate::state::PlacementState;
+use emumap_graph::NodeId;
+use emumap_model::{GuestId, Mapping, PhysicalTopology, VirtualEnvironment};
+use rand::RngCore;
+use std::time::Instant;
+
+/// Which greedy placement rule to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Rule {
+    FirstFitDecreasing,
+    BestFit,
+    WorstFit,
+}
+
+fn place_greedy(state: &mut PlacementState<'_>, rule: Rule) -> Result<(), MapError> {
+    let venv = state.venv();
+    // FFD and BestFit order guests by descending memory (the binding
+    // resource); WorstFit orders by descending CPU demand (it balances
+    // CPU).
+    let mut guests: Vec<GuestId> = venv.guest_ids().collect();
+    match rule {
+        Rule::FirstFitDecreasing | Rule::BestFit => guests.sort_by(|&a, &b| {
+            venv.guest(b)
+                .mem
+                .cmp(&venv.guest(a).mem)
+                .then_with(|| {
+                    venv.guest(b)
+                        .stor
+                        .partial_cmp(&venv.guest(a).stor)
+                        .expect("finite")
+                })
+                .then(a.cmp(&b))
+        }),
+        Rule::WorstFit => guests.sort_by(|&a, &b| {
+            venv.guest(b)
+                .proc
+                .partial_cmp(&venv.guest(a).proc)
+                .expect("finite")
+                .then(a.cmp(&b))
+        }),
+    }
+
+    let hosts: Vec<NodeId> = state.phys().hosts().to_vec();
+    for g in guests {
+        let candidates = hosts.iter().copied().filter(|&h| state.fits(g, h));
+        let chosen = match rule {
+            // Hosts in id order; first fit.
+            Rule::FirstFitDecreasing => candidates.min_by_key(|&h| h),
+            // Tightest memory fit.
+            Rule::BestFit => candidates.min_by(|&a, &b| {
+                state
+                    .residual()
+                    .mem(a)
+                    .cmp(&state.residual().mem(b))
+                    .then(a.cmp(&b))
+            }),
+            // Most residual CPU.
+            Rule::WorstFit => candidates.max_by(|&a, &b| {
+                state
+                    .residual()
+                    .proc(a)
+                    .partial_cmp(&state.residual().proc(b))
+                    .expect("finite")
+                    .then(b.cmp(&a)) // prefer smaller id on ties
+            }),
+        };
+        let host = chosen.ok_or(MapError::HostingFailed { guest: g })?;
+        state.assign(g, host).expect("candidate verified");
+    }
+    Ok(())
+}
+
+fn run_greedy(
+    rule: Rule,
+    name: &'static str,
+    astar: &AStarPruneConfig,
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+) -> Result<MapOutcome, MapError> {
+    let start = Instant::now();
+    let mut state = PlacementState::new(phys, venv);
+    let t = Instant::now();
+    place_greedy(&mut state, rule)?;
+    let placement_time = t.elapsed();
+    let links = links_by_descending_bw(venv);
+    let t = Instant::now();
+    let (routes, net) = networking_stage(&mut state, &links, astar)?;
+    let stats = MapStats {
+        attempts: 1,
+        routed_links: net.routed_links,
+        intra_host_links: net.intra_host_links,
+        astar_expansions: net.search.expanded,
+        placement_time,
+        networking_time: t.elapsed(),
+        total_time: start.elapsed(),
+        ..Default::default()
+    };
+    let _ = name;
+    let mapping = Mapping::new(state.into_placement(), routes);
+    Ok(MapOutcome::new(phys, venv, mapping, stats))
+}
+
+macro_rules! greedy_mapper {
+    ($(#[$meta:meta])* $name:ident, $rule:expr, $label:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default)]
+        pub struct $name {
+            /// A\*Prune configuration for the routing phase.
+            pub astar: AStarPruneConfig,
+        }
+
+        impl Mapper for $name {
+            fn name(&self) -> &str {
+                $label
+            }
+
+            fn map(
+                &self,
+                phys: &PhysicalTopology,
+                venv: &VirtualEnvironment,
+                _rng: &mut dyn RngCore,
+            ) -> Result<MapOutcome, MapError> {
+                run_greedy($rule, $label, &self.astar, phys, venv)
+            }
+        }
+    };
+}
+
+greedy_mapper!(
+    /// First-fit-decreasing placement (by memory) + A\*Prune routing.
+    FirstFitDecreasing,
+    Rule::FirstFitDecreasing,
+    "FFD"
+);
+greedy_mapper!(
+    /// Best-fit placement (tightest memory) + A\*Prune routing.
+    BestFit,
+    Rule::BestFit,
+    "BF"
+);
+greedy_mapper!(
+    /// Worst-fit placement (most residual CPU) + A\*Prune routing.
+    WorstFit,
+    Rule::WorstFit,
+    "WF"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emumap_graph::generators;
+    use emumap_model::{
+        validate_mapping, GuestSpec, HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, StorGb,
+        VLinkSpec, VmmOverhead,
+    };
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn phys() -> PhysicalTopology {
+        PhysicalTopology::from_shape(
+            &generators::torus2d(3, 4),
+            std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(2000.0))),
+            LinkSpec::new(Kbps::from_gbps(1.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        )
+    }
+
+    fn venv(n: usize) -> VirtualEnvironment {
+        let mut v = VirtualEnvironment::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| {
+                v.add_guest(GuestSpec::new(
+                    Mips(50.0 + i as f64),
+                    MemMb(128 + (i as u64 * 13) % 128),
+                    StorGb(100.0),
+                ))
+            })
+            .collect();
+        for w in ids.windows(2) {
+            v.add_link(w[0], w[1], VLinkSpec::new(Kbps(500.0), Millis(45.0)));
+        }
+        v
+    }
+
+    #[test]
+    fn all_greedy_mappers_produce_valid_mappings() {
+        let p = phys();
+        let v = venv(20);
+        let mappers: Vec<Box<dyn Mapper>> = vec![
+            Box::new(FirstFitDecreasing::default()),
+            Box::new(BestFit::default()),
+            Box::new(WorstFit::default()),
+        ];
+        for m in mappers {
+            let mut rng = SmallRng::seed_from_u64(1);
+            let out = m
+                .map(&p, &v, &mut rng)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", m.name()));
+            assert_eq!(
+                validate_mapping(&p, &v, &out.mapping),
+                Ok(()),
+                "{}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn ffd_packs_fewer_hosts_than_worst_fit() {
+        let p = phys();
+        let v = venv(20);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ffd = FirstFitDecreasing::default().map(&p, &v, &mut rng).unwrap();
+        let wf = WorstFit::default().map(&p, &v, &mut rng).unwrap();
+        assert!(ffd.mapping.hosts_used() <= wf.mapping.hosts_used());
+    }
+
+    #[test]
+    fn worst_fit_balances_better_than_ffd() {
+        let p = phys();
+        let v = venv(24);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ffd = FirstFitDecreasing::default().map(&p, &v, &mut rng).unwrap();
+        let wf = WorstFit::default().map(&p, &v, &mut rng).unwrap();
+        assert!(
+            wf.objective <= ffd.objective,
+            "worst-fit ({}) should balance at least as well as FFD ({})",
+            wf.objective,
+            ffd.objective
+        );
+    }
+
+    #[test]
+    fn best_fit_is_deterministic() {
+        let p = phys();
+        let v = venv(15);
+        let a = BestFit::default()
+            .map(&p, &v, &mut SmallRng::seed_from_u64(1))
+            .unwrap();
+        let b = BestFit::default()
+            .map(&p, &v, &mut SmallRng::seed_from_u64(999))
+            .unwrap();
+        assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn greedy_failure_is_typed() {
+        let p = PhysicalTopology::from_shape(
+            &generators::line(2),
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(64), StorGb(10.0))),
+            LinkSpec::new(Kbps(1000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let mut v = VirtualEnvironment::new();
+        v.add_guest(GuestSpec::new(Mips(1.0), MemMb(1024), StorGb(1.0)));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let err = FirstFitDecreasing::default().map(&p, &v, &mut rng).unwrap_err();
+        assert!(matches!(err, MapError::HostingFailed { .. }));
+    }
+}

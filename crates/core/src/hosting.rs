@@ -1,0 +1,434 @@
+//! HMN stage 1 — **Hosting** (§4.1): a preliminary assignment of guests to
+//! hosts driven by network affinity.
+//!
+//! Virtual links are processed in descending bandwidth order; wherever
+//! possible both endpoints of a high-bandwidth link land on the same host,
+//! so that the heaviest traffic never touches the physical network. The
+//! host list is kept sorted by descending residual CPU, so the fullest CPUs
+//! are preferred early (the balance itself is refined later by Migration).
+
+use crate::error::MapError;
+use crate::state::PlacementState;
+use emumap_graph::NodeId;
+use emumap_model::{GuestId, VLinkId, VirtualEnvironment};
+
+/// How the Hosting stage attempts co-location of an unmapped link's
+/// endpoint pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum HostingPolicy {
+    /// §4.1 verbatim: co-location is only attempted on *the first host of
+    /// the CPU-sorted list*; if the pair does not fit there, the guests
+    /// are split — even when a later host could take both. (This is the
+    /// quirk the `heuristic_pool` example exploits to make HMN fail.)
+    #[default]
+    Paper,
+    /// §6-style fix: scan the CPU-sorted list for the first host that fits
+    /// *both* guests before giving up on co-location. Strictly more
+    /// links end up intra-host; costs one extra scan per unmapped pair.
+    FirstFitColocation,
+}
+
+/// Virtual links sorted by descending bandwidth demand (the paper's
+/// processing order), ties broken by id for determinism.
+pub fn links_by_descending_bw(venv: &VirtualEnvironment) -> Vec<VLinkId> {
+    let mut links: Vec<VLinkId> = venv.link_ids().collect();
+    links.sort_by(|&a, &b| {
+        venv.link(b)
+            .bw
+            .partial_cmp(&venv.link(a).bw)
+            .expect("bandwidths are finite")
+            .then(a.cmp(&b))
+    });
+    links
+}
+
+/// Sorts `hosts` by descending residual CPU (ties by id). The paper re-sorts
+/// after every assignment "considering the new CPU availabilities".
+fn sort_hosts(hosts: &mut [NodeId], state: &PlacementState<'_>) {
+    hosts.sort_by(|&a, &b| {
+        state
+            .residual()
+            .proc(b)
+            .partial_cmp(&state.residual().proc(a))
+            .expect("CPU residuals are finite")
+            .then(a.cmp(&b))
+    });
+}
+
+/// First host in `hosts` (which is kept in descending-residual-CPU order)
+/// that fits `guest`, or `None`.
+fn first_fit(state: &PlacementState<'_>, hosts: &[NodeId], guest: GuestId) -> Option<NodeId> {
+    hosts.iter().copied().find(|&h| state.fits(guest, h))
+}
+
+/// Runs the Hosting stage over `links` with the paper's co-location rule
+/// (see [`hosting_stage_with`] for the policy knob). Mutates `state`; on
+/// failure the state is left partially assigned (callers either abort or
+/// reset).
+pub fn hosting_stage(state: &mut PlacementState<'_>, links: &[VLinkId]) -> Result<(), MapError> {
+    hosting_stage_with(state, links, HostingPolicy::Paper)
+}
+
+/// [`hosting_stage`] with an explicit [`HostingPolicy`].
+pub fn hosting_stage_with(
+    state: &mut PlacementState<'_>,
+    links: &[VLinkId],
+    policy: HostingPolicy,
+) -> Result<(), MapError> {
+    let venv = state.venv();
+    let mut hosts: Vec<NodeId> = state.phys().hosts().to_vec();
+    sort_hosts(&mut hosts, state);
+
+    for &l in links {
+        let (vs, vd) = venv.link_endpoints(l);
+        match (state.host_of(vs), state.host_of(vd)) {
+            // Both endpoints already mapped: nothing to do.
+            (Some(_), Some(_)) => continue,
+
+            // Neither mapped: try to co-locate on the first (most CPU
+            // available) host; otherwise place the most CPU-intensive
+            // guest first-fit and the other one after it.
+            (None, None) => {
+                if vs == vd {
+                    // Self-loop virtual link: place its single guest.
+                    let h = first_fit(state, &hosts, vs)
+                        .ok_or(MapError::HostingFailed { guest: vs })?;
+                    state.assign(vs, h).expect("first_fit verified capacity");
+                    sort_hosts(&mut hosts, state);
+                    continue;
+                }
+                let fits_both = |state: &PlacementState<'_>, host: NodeId| {
+                    let (gs, gd) = (venv.guest(vs), venv.guest(vd));
+                    let r = state.residual();
+                    r.mem(host).value() >= gs.mem.value() + gd.mem.value()
+                        && r.stor(host).value() >= gs.stor.value() + gd.stor.value()
+                };
+                let colocate_on = match policy {
+                    HostingPolicy::Paper => fits_both(state, hosts[0]).then(|| hosts[0]),
+                    HostingPolicy::FirstFitColocation => {
+                        hosts.iter().copied().find(|&h| fits_both(state, h))
+                    }
+                };
+                if let Some(host) = colocate_on {
+                    state.assign(vs, host).expect("combined fit verified");
+                    state.assign(vd, host).expect("combined fit verified");
+                } else {
+                    // "the most CPU-intensive guest is assigned to the
+                    // first host in the list able to receive the guest"
+                    let (g1, g2) = if venv.guest(vs).proc.value() >= venv.guest(vd).proc.value() {
+                        (vs, vd)
+                    } else {
+                        (vd, vs)
+                    };
+                    let h1 = first_fit(state, &hosts, g1)
+                        .ok_or(MapError::HostingFailed { guest: g1 })?;
+                    state.assign(g1, h1).expect("first_fit verified capacity");
+                    sort_hosts(&mut hosts, state);
+                    let h2 = first_fit(state, &hosts, g2)
+                        .ok_or(MapError::HostingFailed { guest: g2 })?;
+                    state.assign(g2, h2).expect("first_fit verified capacity");
+                }
+                sort_hosts(&mut hosts, state);
+            }
+
+            // Exactly one mapped: pull the unmapped guest onto its peer's
+            // host, falling back to first-fit.
+            (mapped, unmapped_side) => {
+                let (anchor_host, free) = match (mapped, unmapped_side) {
+                    (Some(h), None) => (h, vd),
+                    (None, Some(h)) => (h, vs),
+                    _ => unreachable!("remaining patterns handled above"),
+                };
+                let target = if state.fits(free, anchor_host) {
+                    anchor_host
+                } else {
+                    first_fit(state, &hosts, free)
+                        .ok_or(MapError::HostingFailed { guest: free })?
+                };
+                state.assign(free, target).expect("fit verified");
+                sort_hosts(&mut hosts, state);
+            }
+        }
+    }
+
+    // Guests untouched by any link (isolated nodes — the paper's generator
+    // never produces them because it guarantees connectivity, but the
+    // public API accepts arbitrary virtual environments): place them
+    // most-CPU-intensive first, first-fit.
+    let mut leftovers: Vec<GuestId> = venv
+        .guest_ids()
+        .filter(|&g| state.host_of(g).is_none())
+        .collect();
+    leftovers.sort_by(|&a, &b| {
+        venv.guest(b)
+            .proc
+            .partial_cmp(&venv.guest(a).proc)
+            .expect("CPU demands are finite")
+            .then(a.cmp(&b))
+    });
+    for g in leftovers {
+        let h = first_fit(state, &hosts, g).ok_or(MapError::HostingFailed { guest: g })?;
+        state.assign(g, h).expect("first_fit verified capacity");
+        sort_hosts(&mut hosts, state);
+    }
+
+    debug_assert!(state.is_complete());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emumap_graph::generators;
+    use emumap_model::{
+        GuestSpec, HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, PhysicalTopology, StorGb,
+        VLinkSpec, VmmOverhead,
+    };
+
+    fn phys_uniform(n: usize, mem_mb: u64) -> PhysicalTopology {
+        PhysicalTopology::from_shape(
+            &generators::ring(n),
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(mem_mb), StorGb(1000.0))),
+            LinkSpec::new(Kbps(1_000_000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        )
+    }
+
+    fn guest(mem: u64) -> GuestSpec {
+        GuestSpec::new(Mips(50.0), MemMb(mem), StorGb(1.0))
+    }
+
+    fn link(bw: f64) -> VLinkSpec {
+        VLinkSpec::new(Kbps(bw), Millis(60.0))
+    }
+
+    #[test]
+    fn links_sorted_by_descending_bw_with_stable_ties() {
+        let mut venv = VirtualEnvironment::new();
+        let g: Vec<_> = (0..4).map(|_| venv.add_guest(guest(10))).collect();
+        let l0 = venv.add_link(g[0], g[1], link(100.0));
+        let l1 = venv.add_link(g[1], g[2], link(300.0));
+        let l2 = venv.add_link(g[2], g[3], link(100.0));
+        assert_eq!(links_by_descending_bw(&venv), vec![l1, l0, l2]);
+    }
+
+    #[test]
+    fn high_bandwidth_endpoints_are_colocated() {
+        let phys = phys_uniform(4, 1024);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest(100));
+        let b = venv.add_guest(guest(100));
+        let c = venv.add_guest(guest(100));
+        venv.add_link(a, b, link(1000.0)); // heavy: co-locate
+        venv.add_link(b, c, link(1.0)); // light
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap();
+        assert_eq!(st.host_of(a), st.host_of(b));
+        // c joins b's host too (it fits), per the one-mapped rule.
+        assert_eq!(st.host_of(c), st.host_of(b));
+    }
+
+    #[test]
+    fn splits_pair_when_they_do_not_fit_together() {
+        // Hosts hold 150 MB; two 100 MB guests cannot share one.
+        let phys = phys_uniform(4, 150);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(GuestSpec::new(Mips(90.0), MemMb(100), StorGb(1.0)));
+        let b = venv.add_guest(GuestSpec::new(Mips(10.0), MemMb(100), StorGb(1.0)));
+        venv.add_link(a, b, link(1000.0));
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap();
+        assert_ne!(st.host_of(a), st.host_of(b));
+        assert!(st.is_complete());
+    }
+
+    #[test]
+    fn already_mapped_peer_attracts_unmapped_guest() {
+        let phys = phys_uniform(4, 1024);
+        let mut venv = VirtualEnvironment::new();
+        let g: Vec<_> = (0..3).map(|_| venv.add_guest(guest(100))).collect();
+        // Processing order: (g0,g1) first (heaviest), then (g1,g2).
+        venv.add_link(g[0], g[1], link(500.0));
+        venv.add_link(g[1], g[2], link(400.0));
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap();
+        assert_eq!(st.host_of(g[2]), st.host_of(g[1]));
+    }
+
+    #[test]
+    fn overflow_spills_to_next_host() {
+        // Host memory 250 MB: holds two 100 MB guests but not three.
+        let phys = phys_uniform(3, 250);
+        let mut venv = VirtualEnvironment::new();
+        let g: Vec<_> = (0..3).map(|_| venv.add_guest(guest(100))).collect();
+        venv.add_link(g[0], g[1], link(900.0));
+        venv.add_link(g[1], g[2], link(800.0));
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap();
+        assert_eq!(st.host_of(g[0]), st.host_of(g[1]));
+        assert_ne!(st.host_of(g[2]), st.host_of(g[1]));
+    }
+
+    #[test]
+    fn fails_when_cluster_is_too_small() {
+        let phys = phys_uniform(2, 100);
+        let mut venv = VirtualEnvironment::new();
+        let g: Vec<_> = (0..3).map(|_| venv.add_guest(guest(90))).collect();
+        venv.add_link(g[0], g[1], link(10.0));
+        venv.add_link(g[1], g[2], link(5.0));
+        let mut st = PlacementState::new(&phys, &venv);
+        let err = hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap_err();
+        assert!(matches!(err, MapError::HostingFailed { .. }));
+    }
+
+    #[test]
+    fn isolated_guests_are_still_placed() {
+        let phys = phys_uniform(3, 1024);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest(100));
+        let b = venv.add_guest(guest(100));
+        let _isolated = venv.add_guest(guest(100));
+        venv.add_link(a, b, link(10.0));
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap();
+        assert!(st.is_complete());
+    }
+
+    #[test]
+    fn no_links_at_all_is_fine() {
+        let phys = phys_uniform(3, 1024);
+        let mut venv = VirtualEnvironment::new();
+        for _ in 0..5 {
+            venv.add_guest(guest(50));
+        }
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage(&mut st, &[]).unwrap();
+        assert!(st.is_complete());
+    }
+
+    #[test]
+    fn self_loop_link_places_its_guest() {
+        let phys = phys_uniform(3, 1024);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest(100));
+        venv.add_link(a, a, link(999.0));
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap();
+        assert!(st.host_of(a).is_some());
+    }
+
+    #[test]
+    fn heterogeneous_hosts_fill_biggest_cpu_first() {
+        let shape = generators::line(3);
+        let phys = PhysicalTopology::from_shape(
+            &shape,
+            [
+                HostSpec::new(Mips(1000.0), MemMb(4096), StorGb(1000.0)),
+                HostSpec::new(Mips(3000.0), MemMb(4096), StorGb(1000.0)),
+                HostSpec::new(Mips(2000.0), MemMb(4096), StorGb(1000.0)),
+            ]
+            .into_iter(),
+            LinkSpec::new(Kbps(1_000_000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest(100));
+        let b = venv.add_guest(guest(100));
+        venv.add_link(a, b, link(100.0));
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap();
+        // Both go to the 3000 MIPS host (most available CPU).
+        assert_eq!(st.host_of(a), Some(phys.hosts()[1]));
+        assert_eq!(st.host_of(b), Some(phys.hosts()[1]));
+    }
+}
+
+#[cfg(test)]
+mod policy_tests {
+    use super::*;
+    use crate::state::PlacementState;
+    use emumap_model::{
+        GuestSpec, HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, PhysicalTopology, StorGb,
+        VLinkSpec, VirtualEnvironment, VmmOverhead,
+    };
+
+    /// The adversarial shape from the heuristic_pool example: the
+    /// most-CPU-available host cannot take the pair, but a later host can.
+    fn adversarial() -> (PhysicalTopology, VirtualEnvironment) {
+        let shape = emumap_graph::generators::line(3);
+        let phys = PhysicalTopology::from_shape(
+            &shape,
+            [
+                HostSpec::new(Mips(3000.0), MemMb(300), StorGb(500.0)), // CPU-first, tiny mem
+                HostSpec::new(Mips(1000.0), MemMb(2048), StorGb(500.0)),
+                HostSpec::new(Mips(900.0), MemMb(2048), StorGb(500.0)),
+            ]
+            .into_iter(),
+            LinkSpec::new(Kbps(2000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(GuestSpec::new(Mips(100.0), MemMb(200), StorGb(10.0)));
+        let b = venv.add_guest(GuestSpec::new(Mips(100.0), MemMb(200), StorGb(10.0)));
+        // 5 Mbps pair: only mappable intra-host (physical links are 2 Mbps).
+        venv.add_link(a, b, VLinkSpec::new(Kbps(5000.0), Millis(60.0)));
+        (phys, venv)
+    }
+
+    #[test]
+    fn paper_policy_splits_the_pair() {
+        let (phys, venv) = adversarial();
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage_with(&mut st, &links_by_descending_bw(&venv), HostingPolicy::Paper)
+            .unwrap();
+        let a = emumap_model::GuestId::from_index(0);
+        let b = emumap_model::GuestId::from_index(1);
+        assert_ne!(st.host_of(a), st.host_of(b), "paper rule splits on the first host");
+    }
+
+    #[test]
+    fn first_fit_colocation_keeps_the_pair_together() {
+        let (phys, venv) = adversarial();
+        let mut st = PlacementState::new(&phys, &venv);
+        hosting_stage_with(
+            &mut st,
+            &links_by_descending_bw(&venv),
+            HostingPolicy::FirstFitColocation,
+        )
+        .unwrap();
+        let a = emumap_model::GuestId::from_index(0);
+        let b = emumap_model::GuestId::from_index(1);
+        assert_eq!(st.host_of(a), st.host_of(b));
+        // ... on the first host that fits both (host 1).
+        assert_eq!(st.host_of(a), Some(phys.hosts()[1]));
+    }
+
+    #[test]
+    fn fixed_policy_lets_hmn_map_the_pool_examples_instance() {
+        use crate::hmn::{Hmn, HmnConfig};
+        use crate::mapper::Mapper;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let (phys, venv) = adversarial();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(
+            Hmn::new().map(&phys, &venv, &mut rng).is_err(),
+            "paper HMN fails: the split 5 Mbps link is unroutable"
+        );
+        // Migration would split the colocated pair again in this
+        // degenerate 2-guest instance (as in the simulation_coupling
+        // test), so pin it off: the policy under test is Hosting's.
+        let fixed = Hmn::with_config(HmnConfig {
+            hosting: HostingPolicy::FirstFitColocation,
+            migration: crate::MigrationPolicy::Off,
+            ..Default::default()
+        });
+        let out = fixed
+            .map(&phys, &venv, &mut rng)
+            .expect("first-fit colocation rescues the instance");
+        assert_eq!(
+            emumap_model::validate_mapping(&phys, &venv, &out.mapping),
+            Ok(())
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! # emumap-core
+//!
+//! The mapping heuristics of Calheiros, Buyya & De Rose, *"A Heuristic for
+//! Mapping Virtual Machines and Links in Emulation Testbeds"* (ICPP 2009) —
+//! the paper's primary contribution:
+//!
+//! * [`Hmn`] — the **Hosting–Migration–Networking** heuristic (§4):
+//!   affinity-driven placement, load-balance refinement, and widest-path
+//!   routing with the modified 1-constrained A\*Prune;
+//! * the evaluation's baselines (§5): [`RandomDfs`] (R), [`RandomAStar`]
+//!   (RA) and [`HostingDfs`] (HS);
+//! * the future-work extensions (§6): [`ConsolidatingHmn`] (minimize hosts
+//!   used) and [`HeuristicPool`] (select among heuristics per scenario).
+//!
+//! Stages are public ([`hosting`], [`migration`], [`networking`],
+//! [`astar_prune`](mod@astar_prune)) so they can be recombined, benchmarked and ablated
+//! independently.
+//!
+//! ## Example
+//!
+//! ```
+//! use emumap_core::{Hmn, Mapper};
+//! use emumap_graph::generators;
+//! use emumap_model::{
+//!     validate_mapping, GuestSpec, HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips,
+//!     PhysicalTopology, StorGb, VLinkSpec, VirtualEnvironment, VmmOverhead,
+//! };
+//! use rand::rngs::SmallRng;
+//! use rand::SeedableRng;
+//!
+//! // A 3x4 torus of 2 GHz-class hosts.
+//! let phys = PhysicalTopology::from_shape(
+//!     &generators::torus2d(3, 4),
+//!     std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(2000.0))),
+//!     LinkSpec::new(Kbps::from_gbps(1.0), Millis(5.0)),
+//!     VmmOverhead::NONE,
+//! );
+//!
+//! // A small virtual chain.
+//! let mut venv = VirtualEnvironment::new();
+//! let guests: Vec<_> = (0..6)
+//!     .map(|_| venv.add_guest(GuestSpec::new(Mips(75.0), MemMb(192), StorGb(150.0))))
+//!     .collect();
+//! for pair in guests.windows(2) {
+//!     venv.add_link(pair[0], pair[1], VLinkSpec::new(Kbps(750.0), Millis(45.0)));
+//! }
+//!
+//! let outcome = Hmn::new().map(&phys, &venv, &mut SmallRng::seed_from_u64(0)).unwrap();
+//! assert_eq!(validate_mapping(&phys, &venv, &outcome.mapping), Ok(()));
+//! println!("objective = {:.1} MIPS stddev", outcome.objective);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod astar_prune;
+pub mod consolidation;
+pub mod dfs_routing;
+pub mod diagnostics;
+mod error;
+mod greedy;
+mod hmn;
+pub mod hosting;
+pub mod ksp_routing;
+mod mapper;
+pub mod migration;
+pub mod networking;
+mod pool;
+mod random;
+mod state;
+
+pub use annealing::{Annealing, AnnealingConfig};
+pub use astar_prune::{astar_prune, AStarPruneConfig, PathMetric, SearchStats};
+pub use consolidation::{drain_stage, ConsolidatingHmn, DrainStats};
+pub use dfs_routing::{hop_distances, naive_dfs_route, WANDER_PROBABILITY};
+pub use diagnostics::{cluster_diagnostics, diagnose_route, residual_max_flow, ClusterDiagnostics, RouteVerdict};
+pub use error::MapError;
+pub use greedy::{BestFit, FirstFitDecreasing, WorstFit};
+pub use hmn::{Hmn, HmnConfig, LinkOrder};
+pub use hosting::{hosting_stage, hosting_stage_with, links_by_descending_bw, HostingPolicy};
+pub use ksp_routing::{networking_stage_ksp, HmnKsp};
+pub use mapper::{MapOutcome, MapStats, Mapper};
+pub use migration::{migration_stage, migration_stage_exhaustive, MigrationPolicy, MigrationStats};
+pub use pool::{HeuristicPool, PoolPolicy};
+pub use random::{HostingDfs, RandomAStar, RandomDfs, DEFAULT_MAX_ATTEMPTS};
+pub use state::PlacementState;

@@ -1,0 +1,104 @@
+//! The common mapper interface and its outcome/statistics types.
+
+use crate::error::MapError;
+use emumap_model::{
+    objective::mapping_objective, Mapping, PhysicalTopology, VirtualEnvironment,
+};
+use rand::RngCore;
+use std::time::Duration;
+
+/// Per-run statistics. All fields are best-effort: mappers fill in what
+/// applies to them (e.g. the Random baselines have no migration phase).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MapStats {
+    /// Complete mapping attempts (1 for HMN; retry count for baselines).
+    pub attempts: usize,
+    /// Guests moved by the Migration stage.
+    pub migrations: usize,
+    /// Virtual links routed over the network.
+    pub routed_links: usize,
+    /// Virtual links handled intra-host.
+    pub intra_host_links: usize,
+    /// A\*Prune partial paths expanded (0 for DFS routing).
+    pub astar_expansions: usize,
+    /// Wall-clock spent in placement (Hosting or random placement).
+    pub placement_time: Duration,
+    /// Wall-clock spent in the Migration stage.
+    pub migration_time: Duration,
+    /// Wall-clock spent routing links.
+    pub networking_time: Duration,
+    /// Total wall-clock for the whole `map` call.
+    pub total_time: Duration,
+}
+
+/// A successful mapping plus its quality and cost metrics.
+#[derive(Clone, Debug)]
+pub struct MapOutcome {
+    /// The valid mapping.
+    pub mapping: Mapping,
+    /// The load-balance factor (Eq. 10) of the mapping.
+    pub objective: f64,
+    /// Run statistics.
+    pub stats: MapStats,
+}
+
+impl MapOutcome {
+    /// Packages a finished mapping, computing its Eq. 10 objective.
+    pub fn new(
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
+        mapping: Mapping,
+        stats: MapStats,
+    ) -> Self {
+        let objective = mapping_objective(phys, venv, &mapping);
+        MapOutcome { mapping, objective, stats }
+    }
+}
+
+/// A virtual-environment-to-testbed mapper.
+///
+/// Implementations: [`Hmn`](crate::Hmn) (the paper's contribution),
+/// [`RandomDfs`](crate::RandomDfs) (R), [`RandomAStar`](crate::RandomAStar)
+/// (RA), [`HostingDfs`](crate::HostingDfs) (HS), and the
+/// [`HeuristicPool`](crate::HeuristicPool) combinator.
+///
+/// `rng` drives any randomized decisions; deterministic mappers (HMN)
+/// ignore it, which keeps the harness interface uniform: every mapper is a
+/// pure function of `(phys, venv, seed)`.
+pub trait Mapper {
+    /// Short identifier used in reports ("HMN", "R", "RA", "HS").
+    fn name(&self) -> &str;
+
+    /// Attempts to map `venv` onto `phys`.
+    fn map(
+        &self,
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
+        rng: &mut dyn RngCore,
+    ) -> Result<MapOutcome, MapError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emumap_graph::generators;
+    use emumap_model::{
+        GuestSpec, HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, Route, StorGb, VmmOverhead,
+    };
+
+    #[test]
+    fn outcome_computes_objective() {
+        let phys = PhysicalTopology::from_shape(
+            &generators::line(2),
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(100.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let mut venv = VirtualEnvironment::new();
+        venv.add_guest(GuestSpec::new(Mips(200.0), MemMb(64), StorGb(1.0)));
+        let mapping = Mapping::new(vec![phys.hosts()[0]], Vec::<Route>::new());
+        let outcome = MapOutcome::new(&phys, &venv, mapping, MapStats::default());
+        // Residuals (800, 1000): mean 900, stddev 100.
+        assert_eq!(outcome.objective, 100.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! HMN stage 3 — **Networking** (§4.3): route every virtual link over the
+//! physical network with the modified 1-constrained A\*Prune.
+//!
+//! Links are processed in descending bandwidth order (heaviest demands get
+//! first pick of the capacity); each accepted route immediately commits its
+//! bandwidth so later links see the reduced residuals. Links whose guests
+//! share a host are "handled inside the host" and never routed — §5.2
+//! credits this for the Figure 1 variance.
+
+use crate::astar_prune::{astar_prune, AStarPruneConfig, SearchStats};
+use crate::error::MapError;
+use crate::state::PlacementState;
+use emumap_graph::algo::dijkstra;
+use emumap_graph::NodeId;
+use emumap_model::{Route, VLinkId};
+use std::collections::HashMap;
+
+/// Statistics from a Networking run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkingStats {
+    /// Links actually routed over the network.
+    pub routed_links: usize,
+    /// Links whose endpoints share a host (no routing needed).
+    pub intra_host_links: usize,
+    /// Aggregate A\*Prune search effort.
+    pub search: SearchStats,
+    /// Dijkstra lower-bound tables computed (one per distinct destination
+    /// host).
+    pub dijkstra_runs: usize,
+}
+
+/// Routes `links` (normally in descending-bandwidth order) over the
+/// physical network, committing bandwidth into `state`'s residuals.
+/// Returns the route table indexed by [`VLinkId::index`] and stats, or the
+/// first unroutable link.
+pub fn networking_stage(
+    state: &mut PlacementState<'_>,
+    links: &[VLinkId],
+    config: &AStarPruneConfig,
+) -> Result<(Vec<Route>, NetworkingStats), MapError> {
+    assert!(state.is_complete(), "networking requires a complete assignment");
+    let venv = state.venv();
+    let phys = state.phys();
+    let mut routes = vec![Route::intra_host(); venv.link_count()];
+    let mut stats = NetworkingStats::default();
+
+    // `ar[]` tables (Dijkstra latency-to-destination) are cached per
+    // destination host: §5.2 observes that "most part of mapping time is
+    // spend in the Networking stage to calculate the shortest path of each
+    // host to the link destination", and with thousands of links over 40
+    // hosts the cache collapses that cost to at most `hosts` runs.
+    let mut ar_cache: HashMap<NodeId, Vec<f64>> = HashMap::new();
+
+    for &l in links {
+        let (vs, vd) = venv.link_endpoints(l);
+        let hs = state.host_of(vs).expect("assignment complete");
+        let hd = state.host_of(vd).expect("assignment complete");
+        if hs == hd {
+            stats.intra_host_links += 1;
+            continue; // routes[l] stays intra-host
+        }
+        let spec = *venv.link(l);
+        let dijkstra_runs = &mut stats.dijkstra_runs;
+        let ar = ar_cache.entry(hd).or_insert_with(|| {
+            *dijkstra_runs += 1;
+            dijkstra(phys.graph(), hd, |_, link| link.lat.value())
+                .distances()
+                .to_vec()
+        });
+        let Some((edges, search)) = astar_prune(
+            phys,
+            state.residual(),
+            hs,
+            hd,
+            spec.bw,
+            spec.lat,
+            ar,
+            config,
+        ) else {
+            return Err(MapError::NetworkingFailed { link: l });
+        };
+        stats.search.expanded += search.expanded;
+        stats.search.pushed += search.pushed;
+        state.residual_mut().commit_route(&edges, spec.bw);
+        routes[l.index()] = Route::new(edges);
+        stats.routed_links += 1;
+    }
+
+    Ok((routes, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosting::links_by_descending_bw;
+    use emumap_graph::generators;
+    use emumap_model::{
+        validate_mapping, GuestId, GuestSpec, HostSpec, Kbps, LinkSpec, Mapping, MemMb, Millis,
+        Mips, PhysicalTopology, StorGb, VLinkSpec, VirtualEnvironment, VmmOverhead,
+    };
+
+    fn phys_line(n: usize, bw: f64) -> PhysicalTopology {
+        PhysicalTopology::from_shape(
+            &generators::line(n),
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(4096), StorGb(1000.0))),
+            LinkSpec::new(Kbps(bw), Millis(5.0)),
+            VmmOverhead::NONE,
+        )
+    }
+
+    fn guest() -> GuestSpec {
+        GuestSpec::new(Mips(10.0), MemMb(64), StorGb(1.0))
+    }
+
+    #[test]
+    fn routes_inter_host_and_skips_intra_host() {
+        let phys = phys_line(3, 1000.0);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest());
+        let b = venv.add_guest(guest());
+        let c = venv.add_guest(guest());
+        venv.add_link(a, b, VLinkSpec::new(Kbps(100.0), Millis(60.0))); // same host
+        venv.add_link(a, c, VLinkSpec::new(Kbps(100.0), Millis(60.0))); // two hops
+        let mut st = PlacementState::new(&phys, &venv);
+        st.assign(a, phys.hosts()[0]).unwrap();
+        st.assign(b, phys.hosts()[0]).unwrap();
+        st.assign(c, phys.hosts()[2]).unwrap();
+        let (routes, stats) =
+            networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default())
+                .unwrap();
+        assert_eq!(stats.intra_host_links, 1);
+        assert_eq!(stats.routed_links, 1);
+        assert!(routes[0].is_intra_host());
+        assert_eq!(routes[1].hop_count(), 2);
+        // The full mapping validates.
+        let mapping = Mapping::new(
+            vec![phys.hosts()[0], phys.hosts()[0], phys.hosts()[2]],
+            routes,
+        );
+        assert_eq!(validate_mapping(&phys, &venv, &mapping), Ok(()));
+    }
+
+    #[test]
+    fn bandwidth_accumulates_until_saturation() {
+        // One physical edge of 250 kbps; three 100 kbps virtual links
+        // between hosts 0 and 1 — only two fit.
+        let phys = phys_line(2, 250.0);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest());
+        let b = venv.add_guest(guest());
+        for _ in 0..3 {
+            venv.add_link(a, b, VLinkSpec::new(Kbps(100.0), Millis(60.0)));
+        }
+        let mut st = PlacementState::new(&phys, &venv);
+        st.assign(a, phys.hosts()[0]).unwrap();
+        st.assign(b, phys.hosts()[1]).unwrap();
+        let err = networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default())
+            .unwrap_err();
+        assert!(matches!(err, MapError::NetworkingFailed { .. }));
+    }
+
+    #[test]
+    fn heavy_links_routed_first_claim_direct_paths() {
+        // Ring of 4: two disjoint two-hop-free routes between opposite
+        // corners. The heavy link should get a feasible route and commit
+        // bandwidth; the light link must detour.
+        let shape = generators::ring(4);
+        let phys = PhysicalTopology::from_shape(
+            &shape,
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(4096), StorGb(1000.0))),
+            LinkSpec::new(Kbps(100.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest());
+        let b = venv.add_guest(guest());
+        // Both links between hosts 0 and 2 (opposite in the ring).
+        let heavy = venv.add_link(a, b, VLinkSpec::new(Kbps(80.0), Millis(60.0)));
+        let light = venv.add_link(a, b, VLinkSpec::new(Kbps(60.0), Millis(60.0)));
+        let mut st = PlacementState::new(&phys, &venv);
+        st.assign(a, phys.hosts()[0]).unwrap();
+        st.assign(b, phys.hosts()[2]).unwrap();
+        let (routes, _) =
+            networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default())
+                .unwrap();
+        // Each side of the ring carries one link (80+60 > 100 rules out
+        // sharing).
+        let h: std::collections::HashSet<_> = routes[heavy.index()].edges().iter().collect();
+        let l: std::collections::HashSet<_> = routes[light.index()].edges().iter().collect();
+        assert!(h.is_disjoint(&l), "saturated edges force disjoint routes");
+        let mapping = Mapping::new(vec![phys.hosts()[0], phys.hosts()[2]], routes);
+        assert_eq!(validate_mapping(&phys, &venv, &mapping), Ok(()));
+    }
+
+    #[test]
+    fn dijkstra_cache_is_per_destination() {
+        let phys = phys_line(4, 10_000.0);
+        let mut venv = VirtualEnvironment::new();
+        let g: Vec<_> = (0..4).map(|_| venv.add_guest(guest())).collect();
+        // Three links all ending at guest 3 (same destination host).
+        for i in 0..3 {
+            venv.add_link(g[i], g[3], VLinkSpec::new(Kbps(10.0), Millis(60.0)));
+        }
+        let mut st = PlacementState::new(&phys, &venv);
+        for (i, &gg) in g.iter().enumerate() {
+            st.assign(gg, phys.hosts()[i]).unwrap();
+        }
+        let (_, stats) =
+            networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default())
+                .unwrap();
+        // Destination host is the same for all three links (undirected
+        // edges: endpoint order from add_link is preserved, so hd is
+        // guest 3's host every time).
+        assert_eq!(stats.dijkstra_runs, 1);
+        assert_eq!(stats.routed_links, 3);
+    }
+
+    #[test]
+    fn latency_infeasible_link_fails_cleanly() {
+        let phys = phys_line(4, 10_000.0); // 3 hops end-to-end = 15 ms
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest());
+        let b = venv.add_guest(guest());
+        let l = venv.add_link(a, b, VLinkSpec::new(Kbps(10.0), Millis(10.0)));
+        let mut st = PlacementState::new(&phys, &venv);
+        st.assign(a, phys.hosts()[0]).unwrap();
+        st.assign(b, phys.hosts()[3]).unwrap();
+        let err = networking_stage(&mut st, &[l], &Default::default()).unwrap_err();
+        assert_eq!(err, MapError::NetworkingFailed { link: l });
+    }
+
+    #[test]
+    fn empty_link_list_is_trivially_ok() {
+        let phys = phys_line(2, 100.0);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest());
+        let mut st = PlacementState::new(&phys, &venv);
+        st.assign(GuestId::from_index(0), phys.hosts()[0]).unwrap();
+        let _ = a;
+        let (routes, stats) = networking_stage(&mut st, &[], &Default::default()).unwrap();
+        assert!(routes.is_empty());
+        assert_eq!(stats.routed_links, 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Mutable placement state shared by the Hosting and Migration stages and
+//! by the random baselines.
+
+use emumap_graph::NodeId;
+use emumap_model::objective::population_stddev;
+use emumap_model::{
+    GuestId, Kbps, PhysicalTopology, PlaceError, ResidualState, VirtualEnvironment,
+};
+
+/// A partial guest→host assignment with residual bookkeeping.
+///
+/// Wraps a [`ResidualState`] and keeps the inverse index (which guests sit
+/// on each host) so the Migration stage can enumerate migration candidates
+/// without scanning every guest.
+pub struct PlacementState<'a> {
+    phys: &'a PhysicalTopology,
+    venv: &'a VirtualEnvironment,
+    residual: ResidualState,
+    assignment: Vec<Option<NodeId>>,
+    /// node index -> guests placed there (hosts only; switches stay empty).
+    guests_on: Vec<Vec<GuestId>>,
+    assigned: usize,
+}
+
+impl<'a> PlacementState<'a> {
+    /// An empty assignment over fresh residuals.
+    pub fn new(phys: &'a PhysicalTopology, venv: &'a VirtualEnvironment) -> Self {
+        PlacementState {
+            phys,
+            venv,
+            residual: ResidualState::new(phys),
+            assignment: vec![None; venv.guest_count()],
+            guests_on: vec![Vec::new(); phys.graph().node_count()],
+            assigned: 0,
+        }
+    }
+
+    /// The physical topology this state maps onto.
+    pub fn phys(&self) -> &'a PhysicalTopology {
+        self.phys
+    }
+
+    /// The virtual environment being mapped.
+    pub fn venv(&self) -> &'a VirtualEnvironment {
+        self.venv
+    }
+
+    /// Residual capacities under the current assignment.
+    pub fn residual(&self) -> &ResidualState {
+        &self.residual
+    }
+
+    /// Mutable residuals — used by the Networking stage to commit routes
+    /// after placement is frozen.
+    pub fn residual_mut(&mut self) -> &mut ResidualState {
+        &mut self.residual
+    }
+
+    /// Host of `guest`, if assigned.
+    pub fn host_of(&self, guest: GuestId) -> Option<NodeId> {
+        self.assignment[guest.index()]
+    }
+
+    /// `true` once every guest has a host.
+    pub fn is_complete(&self) -> bool {
+        self.assigned == self.venv.guest_count()
+    }
+
+    /// Number of guests currently assigned.
+    pub fn assigned_count(&self) -> usize {
+        self.assigned
+    }
+
+    /// Guests currently placed on `host`.
+    pub fn guests_on(&self, host: NodeId) -> &[GuestId] {
+        &self.guests_on[host.index()]
+    }
+
+    /// `true` if `guest` fits on `host` under the hard constraints
+    /// (Eqs. 2–3).
+    pub fn fits(&self, guest: GuestId, host: NodeId) -> bool {
+        self.residual.fits(self.venv.guest(guest), host)
+    }
+
+    /// Assigns `guest` to `host`.
+    ///
+    /// # Panics
+    /// Panics if the guest is already assigned (mapper logic error).
+    pub fn assign(&mut self, guest: GuestId, host: NodeId) -> Result<(), PlaceError> {
+        assert!(
+            self.assignment[guest.index()].is_none(),
+            "guest {guest} is already assigned"
+        );
+        self.residual.place(self.phys, self.venv.guest(guest), host)?;
+        self.assignment[guest.index()] = Some(host);
+        self.guests_on[host.index()].push(guest);
+        self.assigned += 1;
+        Ok(())
+    }
+
+    /// Removes `guest` from its current host.
+    ///
+    /// # Panics
+    /// Panics if the guest is not assigned.
+    pub fn unassign(&mut self, guest: GuestId) {
+        let host = self.assignment[guest.index()]
+            .take()
+            .unwrap_or_else(|| panic!("guest {guest} is not assigned"));
+        self.residual.remove(self.venv.guest(guest), host);
+        let list = &mut self.guests_on[host.index()];
+        let pos = list.iter().position(|&g| g == guest).expect("inverse index consistent");
+        list.swap_remove(pos);
+        self.assigned -= 1;
+    }
+
+    /// Moves `guest` from its current host to `to`. Fails (leaving the
+    /// state unchanged) if it does not fit.
+    pub fn migrate(&mut self, guest: GuestId, to: NodeId) -> Result<(), PlaceError> {
+        let from = self.assignment[guest.index()]
+            .unwrap_or_else(|| panic!("guest {guest} is not assigned"));
+        if from == to {
+            return Ok(());
+        }
+        // Probe before mutating so failure is side-effect free.
+        self.residual.check_fit(self.venv.guest(guest), to)?;
+        self.unassign(guest);
+        self.assign(guest, to).expect("probed fit cannot fail");
+        Ok(())
+    }
+
+    /// The load-balance factor (Eq. 10) of the current assignment.
+    pub fn objective(&self) -> f64 {
+        population_stddev(&self.residual.host_proc_residuals(self.phys))
+    }
+
+    /// The load-balance factor *if* `guest` were migrated from its current
+    /// host to `to`, without performing the migration. O(hosts).
+    pub fn objective_if_migrated(&self, guest: GuestId, to: NodeId) -> f64 {
+        let from = self.assignment[guest.index()].expect("guest is assigned");
+        let vproc = self.venv.guest(guest).proc.value();
+        let mut rproc = self.residual.host_proc_residuals(self.phys);
+        for (i, &h) in self.phys.hosts().iter().enumerate() {
+            if h == from {
+                rproc[i] += vproc;
+            } else if h == to {
+                rproc[i] -= vproc;
+            }
+        }
+        population_stddev(&rproc)
+    }
+
+    /// Total bandwidth of `guest`'s virtual links whose other endpoint is
+    /// currently placed on the *same* host — the Migration stage picks the
+    /// guest minimizing this, "in order to minimize utilization of physical
+    /// links" (§4.2).
+    pub fn co_located_bandwidth(&self, guest: GuestId) -> Kbps {
+        let Some(host) = self.assignment[guest.index()] else {
+            return Kbps::ZERO;
+        };
+        self.venv
+            .graph()
+            .neighbors(guest)
+            .filter(|nb| nb.node != guest) // ignore self-loops
+            .filter(|nb| self.assignment[nb.node.index()] == Some(host))
+            .map(|nb| self.venv.link(nb.edge).bw)
+            .sum()
+    }
+
+    /// Consumes the state, returning the dense placement table.
+    ///
+    /// # Panics
+    /// Panics if any guest is unassigned.
+    pub fn into_placement(self) -> Vec<NodeId> {
+        self.assignment
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| h.unwrap_or_else(|| panic!("guest n{i} left unassigned")))
+            .collect()
+    }
+
+    /// Clears every assignment, restoring fresh residuals — used by the
+    /// retrying baselines between attempts.
+    pub fn reset(&mut self) {
+        self.residual = ResidualState::new(self.phys);
+        self.assignment.fill(None);
+        for list in &mut self.guests_on {
+            list.clear();
+        }
+        self.assigned = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emumap_graph::generators;
+    use emumap_model::{
+        GuestSpec, HostSpec, LinkSpec, MemMb, Millis, Mips, StorGb, VLinkSpec, VmmOverhead,
+    };
+
+    fn setup() -> (PhysicalTopology, VirtualEnvironment) {
+        let phys = PhysicalTopology::from_shape(
+            &generators::line(3),
+            [
+                HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0)),
+                HostSpec::new(Mips(2000.0), MemMb(1024), StorGb(100.0)),
+                HostSpec::new(Mips(3000.0), MemMb(512), StorGb(100.0)),
+            ]
+            .into_iter(),
+            LinkSpec::new(Kbps(1000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(GuestSpec::new(Mips(100.0), MemMb(600), StorGb(10.0)));
+        let b = venv.add_guest(GuestSpec::new(Mips(200.0), MemMb(600), StorGb(10.0)));
+        let c = venv.add_guest(GuestSpec::new(Mips(300.0), MemMb(300), StorGb(10.0)));
+        venv.add_link(a, b, VLinkSpec::new(Kbps(500.0), Millis(30.0)));
+        venv.add_link(b, c, VLinkSpec::new(Kbps(200.0), Millis(30.0)));
+        (phys, venv)
+    }
+
+    #[test]
+    fn assign_unassign_roundtrip() {
+        let (phys, venv) = setup();
+        let mut st = PlacementState::new(&phys, &venv);
+        let g = GuestId::from_index(0);
+        let h = phys.hosts()[0];
+        assert!(!st.is_complete());
+        st.assign(g, h).unwrap();
+        assert_eq!(st.host_of(g), Some(h));
+        assert_eq!(st.guests_on(h), &[g]);
+        assert_eq!(st.assigned_count(), 1);
+        assert_eq!(st.residual().proc(h), Mips(900.0));
+        st.unassign(g);
+        assert_eq!(st.host_of(g), None);
+        assert!(st.guests_on(h).is_empty());
+        assert_eq!(st.residual().proc(h), Mips(1000.0));
+    }
+
+    #[test]
+    fn assign_respects_hard_constraints() {
+        let (phys, venv) = setup();
+        let mut st = PlacementState::new(&phys, &venv);
+        let a = GuestId::from_index(0);
+        let b = GuestId::from_index(1);
+        let h0 = phys.hosts()[0]; // 1024 MB
+        st.assign(a, h0).unwrap(); // 600 MB used
+        assert!(!st.fits(b, h0)); // another 600 MB won't fit
+        assert!(st.assign(b, h0).is_err());
+        // Failed assign leaves no trace.
+        assert_eq!(st.host_of(b), None);
+        assert_eq!(st.assigned_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already assigned")]
+    fn double_assign_panics() {
+        let (phys, venv) = setup();
+        let mut st = PlacementState::new(&phys, &venv);
+        let g = GuestId::from_index(0);
+        st.assign(g, phys.hosts()[0]).unwrap();
+        let _ = st.assign(g, phys.hosts()[1]);
+    }
+
+    #[test]
+    fn migrate_moves_and_fails_cleanly() {
+        let (phys, venv) = setup();
+        let mut st = PlacementState::new(&phys, &venv);
+        let a = GuestId::from_index(0);
+        let h = phys.hosts();
+        st.assign(a, h[0]).unwrap();
+        st.migrate(a, h[1]).unwrap();
+        assert_eq!(st.host_of(a), Some(h[1]));
+        assert_eq!(st.residual().proc(h[0]), Mips(1000.0));
+        assert_eq!(st.residual().proc(h[1]), Mips(1900.0));
+        // h[2] has only 512 MB; guest a needs 600 MB.
+        assert!(st.migrate(a, h[2]).is_err());
+        assert_eq!(st.host_of(a), Some(h[1]), "failed migration must not move the guest");
+    }
+
+    #[test]
+    fn migrate_to_same_host_is_noop() {
+        let (phys, venv) = setup();
+        let mut st = PlacementState::new(&phys, &venv);
+        let a = GuestId::from_index(0);
+        st.assign(a, phys.hosts()[0]).unwrap();
+        st.migrate(a, phys.hosts()[0]).unwrap();
+        assert_eq!(st.host_of(a), Some(phys.hosts()[0]));
+        assert_eq!(st.residual().proc(phys.hosts()[0]), Mips(900.0));
+    }
+
+    #[test]
+    fn objective_if_migrated_matches_actual_migration() {
+        let (phys, venv) = setup();
+        let mut st = PlacementState::new(&phys, &venv);
+        let h = phys.hosts();
+        // Guest memories are 600/600/300 MB against 1024/1024/512 MB hosts.
+        for (i, &host) in [h[0], h[1], h[1]].iter().enumerate() {
+            st.assign(GuestId::from_index(i), host).unwrap();
+        }
+        let g = GuestId::from_index(2); // the 300 MB guest fits h[2]
+        let predicted = st.objective_if_migrated(g, h[2]);
+        st.migrate(g, h[2]).unwrap();
+        let actual = st.objective();
+        assert!((predicted - actual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn co_located_bandwidth_counts_same_host_neighbors_only() {
+        let (phys, venv) = setup();
+        let mut st = PlacementState::new(&phys, &venv);
+        let h = phys.hosts();
+        let (a, b, c) = (
+            GuestId::from_index(0),
+            GuestId::from_index(1),
+            GuestId::from_index(2),
+        );
+        st.assign(a, h[0]).unwrap();
+        st.assign(b, h[1]).unwrap();
+        st.assign(c, h[1]).unwrap();
+        // b links: a (500, different host) + c (200, same host).
+        assert_eq!(st.co_located_bandwidth(b), Kbps(200.0));
+        assert_eq!(st.co_located_bandwidth(a), Kbps::ZERO);
+    }
+
+    #[test]
+    fn into_placement_and_reset() {
+        let (phys, venv) = setup();
+        let mut st = PlacementState::new(&phys, &venv);
+        let h = phys.hosts();
+        for (i, &host) in [h[0], h[1], h[2]].iter().enumerate() {
+            st.assign(GuestId::from_index(i), host).unwrap();
+        }
+        assert!(st.is_complete());
+        st.reset();
+        assert_eq!(st.assigned_count(), 0);
+        assert_eq!(st.residual().proc(h[0]), Mips(1000.0));
+        for (i, &host) in [h[1], h[0], h[2]].iter().enumerate() {
+            st.assign(GuestId::from_index(i), host).unwrap();
+        }
+        let placement = st.into_placement();
+        assert_eq!(placement, vec![h[1], h[0], h[2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "left unassigned")]
+    fn into_placement_panics_when_incomplete() {
+        let (phys, venv) = setup();
+        let st = PlacementState::new(&phys, &venv);
+        let _ = st.into_placement();
+    }
+}

@@ -1,0 +1,98 @@
+//! Connectivity queries.
+//!
+//! The Table 1 workload generator "guarantees that the output graph is
+//! connected"; these helpers verify that invariant in tests and let the
+//! generators assert it before returning.
+
+use crate::{Graph, NodeId};
+
+/// Assigns each node a component label in `0..k` and returns
+/// `(labels, component_count)`. Labels are dense and assigned in order of
+/// first discovery.
+pub fn connected_components<N, E>(graph: &Graph<N, E>) -> (Vec<usize>, usize) {
+    const UNLABELED: usize = usize::MAX;
+    let mut labels = vec![UNLABELED; graph.node_count()];
+    let mut next = 0usize;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in graph.node_ids() {
+        if labels[start.index()] != UNLABELED {
+            continue;
+        }
+        labels[start.index()] = next;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for nb in graph.neighbors(v) {
+                if labels[nb.node.index()] == UNLABELED {
+                    labels[nb.node.index()] = next;
+                    stack.push(nb.node);
+                }
+            }
+        }
+        next += 1;
+    }
+    (labels, next)
+}
+
+/// `true` if the graph is connected. The empty graph is considered
+/// connected (it has no pair of nodes to disconnect).
+pub fn is_connected<N, E>(graph: &Graph<N, E>) -> bool {
+    let (_, count) = connected_components(graph);
+    count <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g: Graph<(), ()> = Graph::new();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn singleton_is_connected() {
+        let mut g: Graph<(), ()> = Graph::new();
+        g.add_node(());
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_isolated_nodes_are_disconnected() {
+        let mut g: Graph<(), ()> = Graph::new();
+        g.add_node(());
+        g.add_node(());
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_ne!(labels[0], labels[1]);
+    }
+
+    #[test]
+    fn labels_are_dense_and_stable() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[a.index()], 0);
+        assert_eq!(labels[c.index()], 0);
+        assert_eq!(labels[b.index()], 1);
+        assert_eq!(labels[d.index()], 1);
+    }
+
+    #[test]
+    fn bridge_joins_components() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let ids: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], ());
+        g.add_edge(ids[2], ids[3], ());
+        assert!(!is_connected(&g));
+        g.add_edge(ids[1], ids[2], ());
+        assert!(is_connected(&g));
+    }
+}

@@ -1,0 +1,232 @@
+//! Dijkstra's single-source shortest paths with caller-supplied edge costs.
+//!
+//! The Networking stage of HMN needs one-to-all *latency* distances toward
+//! each virtual-link destination (the admissible lower bound `ar[]` in the
+//! paper's Algorithm 1), so the primary entry point computes the full
+//! distance vector; [`dijkstra_path`] additionally reconstructs one path.
+
+use crate::{EdgeId, Graph, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of a Dijkstra run from a single source.
+#[derive(Clone, Debug)]
+pub struct DijkstraResult {
+    source: NodeId,
+    /// `dist[v]` = shortest distance from the source, `f64::INFINITY` if
+    /// unreachable.
+    dist: Vec<f64>,
+    /// `prev[v]` = (predecessor node, edge used) on one shortest path.
+    prev: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl DijkstraResult {
+    /// The source node of this run.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance to `node`, or `None` if unreachable.
+    pub fn distance(&self, node: NodeId) -> Option<f64> {
+        let d = self.dist[node.index()];
+        d.is_finite().then_some(d)
+    }
+
+    /// Raw distance vector (`INFINITY` for unreachable nodes), indexed by
+    /// [`NodeId::index`]. This is the `ar[]` table of the paper's
+    /// Algorithm 1 when the run is rooted at the link destination.
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Reconstructs the shortest path from the source to `target` as a node
+    /// sequence (source first), or `None` if unreachable.
+    pub fn path_to(&self, target: NodeId) -> Option<Vec<NodeId>> {
+        if !self.dist[target.index()].is_finite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != self.source {
+            let (p, _) = self.prev[cur.index()].expect("finite distance implies predecessor");
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Reconstructs the shortest path as an edge sequence, or `None` if
+    /// `target` is unreachable. Empty when `target == source`.
+    pub fn edge_path_to(&self, target: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.dist[target.index()].is_finite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while cur != self.source {
+            let (p, e) = self.prev[cur.index()].expect("finite distance implies predecessor");
+            edges.push(e);
+            cur = p;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Runs Dijkstra from `source`, with the cost of each edge given by
+/// `cost(edge_id, payload)`.
+///
+/// Costs must be non-negative and finite; this is debug-asserted. Undirected
+/// edges are relaxed in both directions.
+pub fn dijkstra<N, E, F>(graph: &Graph<N, E>, source: NodeId, mut cost: F) -> DijkstraResult
+where
+    F: FnMut(EdgeId, &E) -> f64,
+{
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<Option<(NodeId, EdgeId)>> = vec![None; n];
+    // Max-heap of Reverse(OrderedCost) — f64 is not Ord, so store the bit
+    // pattern of the (non-negative) cost, which orders identically.
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((0u64, source.index() as u32)));
+
+    while let Some(Reverse((dbits, v))) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        let v = NodeId::from_index(v as usize);
+        if d > dist[v.index()] {
+            continue; // stale entry
+        }
+        for nb in graph.neighbors(v) {
+            let w = cost(nb.edge, graph.edge(nb.edge));
+            debug_assert!(
+                w >= 0.0 && w.is_finite(),
+                "dijkstra requires non-negative finite edge costs, got {w}"
+            );
+            let nd = d + w;
+            if nd < dist[nb.node.index()] {
+                dist[nb.node.index()] = nd;
+                prev[nb.node.index()] = Some((v, nb.edge));
+                heap.push(Reverse((nd.to_bits(), nb.node.index() as u32)));
+            }
+        }
+    }
+
+    DijkstraResult { source, dist, prev }
+}
+
+/// Convenience: shortest path from `source` to `target` as
+/// `(total_cost, node_path)`, or `None` if unreachable.
+pub fn dijkstra_path<N, E, F>(
+    graph: &Graph<N, E>,
+    source: NodeId,
+    target: NodeId,
+    cost: F,
+) -> Option<(f64, Vec<NodeId>)>
+where
+    F: FnMut(EdgeId, &E) -> f64,
+{
+    let result = dijkstra(graph, source, cost);
+    let d = result.distance(target)?;
+    Some((d, result.path_to(target).expect("reachable target has a path")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    /// Builds the classic 5-node example with a known shortest-path tree.
+    fn weighted() -> (Graph<(), f64>, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let ids: Vec<_> = (0..5).map(|_| g.add_node(())).collect();
+        let w = [
+            (0, 1, 4.0),
+            (0, 2, 1.0),
+            (2, 1, 2.0),
+            (1, 3, 1.0),
+            (2, 3, 5.0),
+            (3, 4, 3.0),
+        ];
+        for (a, b, c) in w {
+            g.add_edge(ids[a], ids[b], c);
+        }
+        (g, ids)
+    }
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let (g, ids) = weighted();
+        let r = dijkstra(&g, ids[0], |_, w| *w);
+        assert_eq!(r.distance(ids[0]), Some(0.0));
+        assert_eq!(r.distance(ids[2]), Some(1.0));
+        assert_eq!(r.distance(ids[1]), Some(3.0)); // 0-2-1
+        assert_eq!(r.distance(ids[3]), Some(4.0)); // 0-2-1-3
+        assert_eq!(r.distance(ids[4]), Some(7.0));
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let (g, ids) = weighted();
+        let (d, path) = dijkstra_path(&g, ids[0], ids[3], |_, w| *w).unwrap();
+        assert_eq!(d, 4.0);
+        assert_eq!(path, vec![ids[0], ids[2], ids[1], ids[3]]);
+    }
+
+    #[test]
+    fn edge_path_lengths_are_consistent() {
+        let (g, ids) = weighted();
+        let r = dijkstra(&g, ids[0], |_, w| *w);
+        let edges = r.edge_path_to(ids[4]).unwrap();
+        let total: f64 = edges.iter().map(|&e| *g.edge(e)).sum();
+        assert_eq!(total, 7.0);
+        assert!(r.edge_path_to(ids[0]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let r = dijkstra(&g, a, |_, w| *w);
+        assert_eq!(r.distance(b), None);
+        assert!(r.path_to(b).is_none());
+        assert!(dijkstra_path(&g, a, b, |_, w| *w).is_none());
+    }
+
+    #[test]
+    fn zero_cost_edges_are_fine() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 0.0);
+        g.add_edge(b, c, 0.0);
+        let r = dijkstra(&g, a, |_, w| *w);
+        assert_eq!(r.distance(c), Some(0.0));
+    }
+
+    #[test]
+    fn parallel_edges_take_cheapest() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 5.0);
+        g.add_edge(a, b, 2.0);
+        let (d, _) = dijkstra_path(&g, a, b, |_, w| *w).unwrap();
+        assert_eq!(d, 2.0);
+    }
+
+    #[test]
+    fn self_loop_does_not_shorten_anything() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, a, 0.0);
+        g.add_edge(a, b, 3.0);
+        let r = dijkstra(&g, a, |_, w| *w);
+        assert_eq!(r.distance(b), Some(3.0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Edmonds–Karp maximum flow on undirected capacitated graphs.
+//!
+//! Used by the mapping layer's diagnostics: the max-flow between two hosts
+//! upper-bounds the virtual-link bandwidth that can ever be routed between
+//! them (ignoring latency), so a failed Networking stage can tell the
+//! tester whether more retries could possibly help or the cut is simply
+//! too small.
+
+use crate::{Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Maximum flow from `source` to `sink`, with each edge's capacity given
+/// by `capacity(edge payload)`. Undirected edges carry flow in either
+/// direction up to their capacity. Returns 0 for `source == sink`.
+pub fn max_flow<N, E, F>(graph: &Graph<N, E>, source: NodeId, sink: NodeId, capacity: F) -> f64
+where
+    F: Fn(&E) -> f64,
+{
+    if source == sink {
+        return 0.0;
+    }
+    // Residual network: for an undirected edge {a,b} with capacity c, both
+    // directed arcs start at capacity c, and pushing f along a->b adds f
+    // to b->a's residual (standard undirected reduction).
+    let m = graph.edge_count();
+    // residual[2e] = a->b, residual[2e+1] = b->a.
+    let mut residual = vec![0.0f64; 2 * m];
+    for e in graph.edges() {
+        let c = capacity(e.weight);
+        debug_assert!(c >= 0.0, "capacities must be non-negative");
+        residual[2 * e.id.index()] = c;
+        residual[2 * e.id.index() + 1] = c;
+    }
+
+    let arc_of = |edge: crate::EdgeId, from: NodeId| -> usize {
+        let (a, _) = graph.endpoints(edge);
+        if from == a {
+            2 * edge.index()
+        } else {
+            2 * edge.index() + 1
+        }
+    };
+
+    let mut total = 0.0;
+    loop {
+        // BFS for an augmenting path in the residual network.
+        let mut prev: Vec<Option<(NodeId, crate::EdgeId)>> = vec![None; graph.node_count()];
+        let mut seen = vec![false; graph.node_count()];
+        seen[source.index()] = true;
+        let mut queue = VecDeque::from([source]);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for nb in graph.neighbors(v) {
+                if seen[nb.node.index()] || residual[arc_of(nb.edge, v)] <= 1e-12 {
+                    continue;
+                }
+                seen[nb.node.index()] = true;
+                prev[nb.node.index()] = Some((v, nb.edge));
+                if nb.node == sink {
+                    break 'bfs;
+                }
+                queue.push_back(nb.node);
+            }
+        }
+        if !seen[sink.index()] {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = f64::INFINITY;
+        let mut cur = sink;
+        while cur != source {
+            let (p, e) = prev[cur.index()].expect("seen implies predecessor");
+            bottleneck = bottleneck.min(residual[arc_of(e, p)]);
+            cur = p;
+        }
+        // Augment.
+        let mut cur = sink;
+        while cur != source {
+            let (p, e) = prev[cur.index()].expect("seen implies predecessor");
+            residual[arc_of(e, p)] -= bottleneck;
+            residual[arc_of(e, cur)] += bottleneck;
+            cur = p;
+        }
+        total += bottleneck;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::Graph;
+
+    #[test]
+    fn single_edge_flow_is_its_capacity() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 7.5);
+        assert_eq!(max_flow(&g, a, b, |c| *c), 7.5);
+    }
+
+    #[test]
+    fn series_takes_the_bottleneck() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let ids: Vec<_> = (0..3).map(|_| g.add_node(())).collect();
+        g.add_edge(ids[0], ids[1], 10.0);
+        g.add_edge(ids[1], ids[2], 4.0);
+        assert_eq!(max_flow(&g, ids[0], ids[2], |c| *c), 4.0);
+    }
+
+    #[test]
+    fn parallel_paths_add_up() {
+        // Ring of 4: two disjoint 2-hop paths between opposite corners.
+        let shape = generators::ring(4);
+        let g = shape.map_edges(|_, _| 5.0f64);
+        let flow = max_flow(
+            &g,
+            crate::NodeId::from_index(0),
+            crate::NodeId::from_index(2),
+            |c| *c,
+        );
+        assert_eq!(flow, 10.0);
+    }
+
+    #[test]
+    fn disconnected_flow_is_zero() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        assert_eq!(max_flow(&g, a, b, |c| *c), 0.0);
+        assert_eq!(max_flow(&g, a, a, |c| *c), 0.0);
+    }
+
+    #[test]
+    fn classic_flow_network() {
+        // CLRS-style example with a known max flow.
+        let mut g: Graph<(), f64> = Graph::new();
+        let ids: Vec<_> = (0..6).map(|_| g.add_node(())).collect();
+        let (s, a, b, c, d, t) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+        g.add_edge(s, a, 16.0);
+        g.add_edge(s, b, 13.0);
+        g.add_edge(a, c, 12.0);
+        g.add_edge(b, d, 14.0);
+        g.add_edge(c, t, 20.0);
+        g.add_edge(d, t, 4.0);
+        g.add_edge(a, b, 10.0);
+        g.add_edge(c, d, 9.0);
+        let flow = max_flow(&g, s, t, |cap| *cap);
+        // Undirected: limited by the sink cut {c-t: 20, d-t: 4} = 24 and
+        // the source cut {s-a: 16, s-b: 13} = 29; interior supports 24.
+        assert_eq!(flow, 24.0);
+    }
+
+    #[test]
+    fn torus_bisection_exceeds_single_link() {
+        let shape = generators::torus2d(4, 4);
+        let g = shape.map_edges(|_, _| 1.0f64);
+        let flow = max_flow(
+            &g,
+            crate::NodeId::from_index(0),
+            crate::NodeId::from_index(10),
+            |c| *c,
+        );
+        // A 4-regular torus has min cut 4 between any two nodes.
+        assert_eq!(flow, 4.0);
+    }
+
+    #[test]
+    fn flow_never_exceeds_degree_cut() {
+        let shape = generators::switched_cascade(10, 12);
+        let g = shape.map_edges(|_, _| 3.0f64);
+        // Host-to-host flow through a switch: each host has one 3-unit
+        // uplink.
+        let flow = max_flow(
+            &g,
+            crate::NodeId::from_index(0),
+            crate::NodeId::from_index(5),
+            |c| *c,
+        );
+        assert_eq!(flow, 3.0);
+    }
+}

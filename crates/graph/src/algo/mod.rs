@@ -1,0 +1,18 @@
+//! Graph algorithms: shortest paths, traversals, connectivity, K-shortest
+//! paths, max flow, and whole-graph metrics.
+
+mod components;
+mod dijkstra;
+mod ksp;
+mod maxflow;
+mod metrics;
+mod traversal;
+mod union_find;
+
+pub use components::{connected_components, is_connected};
+pub use dijkstra::{dijkstra, dijkstra_path, DijkstraResult};
+pub use ksp::{k_shortest_paths, CostedPath};
+pub use maxflow::max_flow;
+pub use metrics::{average_path_cost, diameter, eccentricity};
+pub use traversal::{bfs_order, bfs_path, dfs_order, dfs_path_filtered};
+pub use union_find::UnionFind;

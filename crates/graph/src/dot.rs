@@ -1,0 +1,112 @@
+//! Graphviz DOT export.
+//!
+//! Testers debugging a mapping want to *see* the cluster and the virtual
+//! environment; `to_dot` renders any graph with caller-supplied node/edge
+//! labellers, and the CLI's `inspect --dot` uses it for physical
+//! topologies (hosts as boxes, switches as diamonds).
+
+use crate::{EdgeId, Graph, NodeId};
+use std::fmt::Write;
+
+/// Options for DOT rendering.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// The graph name emitted after `graph`.
+    pub name: String,
+    /// Extra attributes inserted at the top (e.g. `layout=neato;`).
+    pub graph_attrs: String,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { name: "emumap".to_string(), graph_attrs: String::new() }
+    }
+}
+
+/// Renders the graph in DOT format. `node_attrs` / `edge_attrs` return the
+/// attribute list body for each element (empty string for none), e.g.
+/// `label="h3", shape=box`.
+pub fn to_dot<N, E>(
+    graph: &Graph<N, E>,
+    options: &DotOptions,
+    mut node_attrs: impl FnMut(NodeId, &N) -> String,
+    mut edge_attrs: impl FnMut(EdgeId, &E) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", options.name);
+    if !options.graph_attrs.is_empty() {
+        let _ = writeln!(out, "  {}", options.graph_attrs);
+    }
+    for (id, payload) in graph.nodes() {
+        let attrs = node_attrs(id, payload);
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {};", id.index());
+        } else {
+            let _ = writeln!(out, "  {} [{}];", id.index(), attrs);
+        }
+    }
+    for e in graph.edges() {
+        let attrs = edge_attrs(e.id, e.weight);
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {} -- {};", e.a.index(), e.b.index());
+        } else {
+            let _ = writeln!(out, "  {} -- {} [{}];", e.a.index(), e.b.index(), attrs);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let g = generators::line(3);
+        let dot = to_dot(
+            &g,
+            &DotOptions::default(),
+            |id, _| format!("label=\"h{}\"", id.index()),
+            |_, _| String::new(),
+        );
+        assert!(dot.starts_with("graph emumap {"));
+        assert!(dot.contains("0 [label=\"h0\"];"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("1 -- 2;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_attrs_render_bare_elements() {
+        let g = generators::ring(3);
+        let dot = to_dot(&g, &DotOptions::default(), |_, _| String::new(), |_, _| String::new());
+        assert!(dot.contains("  0;"));
+        assert!(dot.contains("0 -- 1;"));
+    }
+
+    #[test]
+    fn graph_attrs_and_name_are_emitted() {
+        let g = generators::line(2);
+        let opts = DotOptions { name: "cluster".to_string(), graph_attrs: "layout=neato;".to_string() };
+        let dot = to_dot(&g, &opts, |_, _| String::new(), |_, _| String::new());
+        assert!(dot.starts_with("graph cluster {"));
+        assert!(dot.contains("layout=neato;"));
+    }
+
+    #[test]
+    fn edge_attrs_appear() {
+        let mut g: Graph<(), f64> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 42.0);
+        let dot = to_dot(
+            &g,
+            &DotOptions::default(),
+            |_, _| String::new(),
+            |_, w| format!("label=\"{w} kbps\""),
+        );
+        assert!(dot.contains("0 -- 1 [label=\"42 kbps\"];"));
+    }
+}

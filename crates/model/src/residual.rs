@@ -1,0 +1,326 @@
+//! Incremental residual-capacity bookkeeping.
+//!
+//! Every HMN stage mutates a tentative assignment thousands of times
+//! (placements, migrations, route commitments), so recomputing capacities
+//! from scratch per probe would be quadratic. [`ResidualState`] maintains
+//! per-host residual CPU/memory/storage and per-link residual bandwidth
+//! under O(1) place/remove and O(path) route commit/release, and is the
+//! single source of truth the mappers consult for feasibility (Eqs. 2, 3, 9)
+//! and for the objective's residual-CPU inputs (Eq. 11).
+
+use crate::physical::PhysicalTopology;
+use crate::resources::{Kbps, MemMb, Mips, StorGb};
+use crate::virtualenv::GuestSpec;
+use emumap_graph::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Mutable residual capacities over a fixed physical topology.
+///
+/// CPU residuals are allowed to go negative — CPU is the optimized
+/// quantity, not a constraint (§3.2: "We are not considering CPU as a
+/// constraint of our problem"). Memory and storage are hard constraints and
+/// [`ResidualState::place`] refuses to violate them.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResidualState {
+    /// Residual CPU per node index (switches pinned to 0; may go negative
+    /// on hosts).
+    proc: Vec<f64>,
+    /// Residual memory per node index.
+    mem: Vec<u64>,
+    /// Residual storage per node index.
+    stor: Vec<f64>,
+    /// Residual bandwidth per physical edge index.
+    bw: Vec<f64>,
+}
+
+/// Why a guest cannot be placed on a host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlaceError {
+    /// Target node is a switch.
+    NotAHost,
+    /// Eq. 2 would be violated.
+    InsufficientMemory,
+    /// Eq. 3 would be violated.
+    InsufficientStorage,
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::NotAHost => write!(f, "target node is a switch, not a host"),
+            PlaceError::InsufficientMemory => write!(f, "insufficient residual memory"),
+            PlaceError::InsufficientStorage => write!(f, "insufficient residual storage"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+impl ResidualState {
+    /// Fresh residuals equal to the *effective* capacities of the topology
+    /// (raw capacities minus VMM overhead, §3.1).
+    pub fn new(phys: &PhysicalTopology) -> Self {
+        let n = phys.graph().node_count();
+        let mut proc = vec![0.0; n];
+        let mut mem = vec![0u64; n];
+        let mut stor = vec![0.0; n];
+        for &h in phys.hosts() {
+            proc[h.index()] = phys.effective_proc(h).value();
+            mem[h.index()] = phys.effective_mem(h).value();
+            stor[h.index()] = phys.effective_stor(h).value();
+        }
+        let bw = phys
+            .graph()
+            .edge_ids()
+            .map(|e| phys.link(e).bw.value())
+            .collect();
+        ResidualState { proc, mem, stor, bw }
+    }
+
+    /// Residual CPU of a node (negative = oversubscribed, which is legal).
+    #[inline]
+    pub fn proc(&self, node: NodeId) -> Mips {
+        Mips(self.proc[node.index()])
+    }
+
+    /// Residual memory of a node.
+    #[inline]
+    pub fn mem(&self, node: NodeId) -> MemMb {
+        MemMb(self.mem[node.index()])
+    }
+
+    /// Residual storage of a node.
+    #[inline]
+    pub fn stor(&self, node: NodeId) -> StorGb {
+        StorGb(self.stor[node.index()])
+    }
+
+    /// Residual bandwidth of a physical edge.
+    #[inline]
+    pub fn bw(&self, edge: EdgeId) -> Kbps {
+        Kbps(self.bw[edge.index()])
+    }
+
+    /// `true` if `guest` would respect the hard constraints on `host`
+    /// (Eqs. 2–3). CPU is deliberately not checked.
+    pub fn fits(&self, guest: &GuestSpec, host: NodeId) -> bool {
+        self.check_fit(guest, host).is_ok()
+    }
+
+    /// Like [`fits`](Self::fits) but says why not.
+    pub fn check_fit(&self, guest: &GuestSpec, host: NodeId) -> Result<(), PlaceError> {
+        if self.mem[host.index()] < guest.mem.value() {
+            // A switch has zero capacity, so this also rejects switches —
+            // but distinguish the reason for callers/diagnostics.
+            return Err(PlaceError::InsufficientMemory);
+        }
+        if self.stor[host.index()] < guest.stor.value() {
+            return Err(PlaceError::InsufficientStorage);
+        }
+        Ok(())
+    }
+
+    /// Commits `guest` onto `host`, updating residuals.
+    ///
+    /// Fails (without mutating) if the hard constraints would be violated
+    /// or `host` is not a host node of `phys`.
+    pub fn place(
+        &mut self,
+        phys: &PhysicalTopology,
+        guest: &GuestSpec,
+        host: NodeId,
+    ) -> Result<(), PlaceError> {
+        if !phys.is_host(host) {
+            return Err(PlaceError::NotAHost);
+        }
+        self.check_fit(guest, host)?;
+        self.proc[host.index()] -= guest.proc.value();
+        self.mem[host.index()] -= guest.mem.value();
+        self.stor[host.index()] -= guest.stor.value();
+        Ok(())
+    }
+
+    /// Reverses a previous [`place`](Self::place) of `guest` on `host`.
+    ///
+    /// The caller is responsible for only removing guests it actually
+    /// placed; this is debug-asserted via capacity overflow checks in the
+    /// validation layer rather than tracked here (the mappers own the
+    /// assignment tables).
+    pub fn remove(&mut self, guest: &GuestSpec, host: NodeId) {
+        self.proc[host.index()] += guest.proc.value();
+        self.mem[host.index()] += guest.mem.value();
+        self.stor[host.index()] += guest.stor.value();
+    }
+
+    /// `true` if every edge of `route` has at least `demand` residual
+    /// bandwidth (Eq. 9 probe).
+    pub fn route_feasible(&self, route: &[EdgeId], demand: Kbps) -> bool {
+        route.iter().all(|e| self.bw[e.index()] >= demand.value())
+    }
+
+    /// Deducts `demand` from every edge of `route`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if any edge lacks capacity; callers must
+    /// probe with [`route_feasible`](Self::route_feasible) first (the
+    /// mappers do — A*Prune prunes infeasible edges during search).
+    pub fn commit_route(&mut self, route: &[EdgeId], demand: Kbps) {
+        for e in route {
+            debug_assert!(
+                self.bw[e.index()] >= demand.value() - 1e-9,
+                "committing route over edge {e} without residual bandwidth"
+            );
+            self.bw[e.index()] -= demand.value();
+        }
+    }
+
+    /// Returns `demand` to every edge of `route` (reversing a commit).
+    pub fn release_route(&mut self, route: &[EdgeId], demand: Kbps) {
+        for e in route {
+            self.bw[e.index()] += demand.value();
+        }
+    }
+
+    /// Residual CPU of every *host* of `phys`, in host order — the
+    /// `rproc(c_i)` vector the objective function consumes (Eq. 11).
+    pub fn host_proc_residuals(&self, phys: &PhysicalTopology) -> Vec<f64> {
+        phys.hosts().iter().map(|&h| self.proc[h.index()]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::{HostSpec, LinkSpec, VmmOverhead};
+    use crate::resources::Millis;
+    use emumap_graph::generators;
+
+    fn phys() -> PhysicalTopology {
+        PhysicalTopology::from_shape(
+            &generators::line(3),
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(500.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        )
+    }
+
+    fn guest(proc: f64, mem: u64, stor: f64) -> GuestSpec {
+        GuestSpec::new(Mips(proc), MemMb(mem), StorGb(stor))
+    }
+
+    #[test]
+    fn fresh_residuals_match_effective_capacity() {
+        let p = phys();
+        let r = ResidualState::new(&p);
+        let h = p.hosts()[0];
+        assert_eq!(r.proc(h), Mips(1000.0));
+        assert_eq!(r.mem(h), MemMb(1024));
+        assert_eq!(r.stor(h), StorGb(100.0));
+        for e in p.graph().edge_ids() {
+            assert_eq!(r.bw(e), Kbps(500.0));
+        }
+    }
+
+    #[test]
+    fn place_and_remove_roundtrip() {
+        let p = phys();
+        let mut r = ResidualState::new(&p);
+        let h = p.hosts()[1];
+        let g = guest(100.0, 256, 10.0);
+        r.place(&p, &g, h).unwrap();
+        assert_eq!(r.proc(h), Mips(900.0));
+        assert_eq!(r.mem(h), MemMb(768));
+        assert_eq!(r.stor(h), StorGb(90.0));
+        r.remove(&g, h);
+        assert_eq!(r.proc(h), Mips(1000.0));
+        assert_eq!(r.mem(h), MemMb(1024));
+    }
+
+    #[test]
+    fn memory_is_a_hard_constraint() {
+        let p = phys();
+        let mut r = ResidualState::new(&p);
+        let h = p.hosts()[0];
+        let g = guest(0.0, 2048, 1.0);
+        assert_eq!(r.place(&p, &g, h), Err(PlaceError::InsufficientMemory));
+        assert!(!r.fits(&g, h));
+        // State unchanged after failed placement.
+        assert_eq!(r.mem(h), MemMb(1024));
+    }
+
+    #[test]
+    fn storage_is_a_hard_constraint() {
+        let p = phys();
+        let mut r = ResidualState::new(&p);
+        let h = p.hosts()[0];
+        let g = guest(0.0, 1, 1000.0);
+        assert_eq!(r.place(&p, &g, h), Err(PlaceError::InsufficientStorage));
+    }
+
+    #[test]
+    fn cpu_may_be_oversubscribed() {
+        let p = phys();
+        let mut r = ResidualState::new(&p);
+        let h = p.hosts()[0];
+        let hungry = guest(800.0, 100, 1.0);
+        r.place(&p, &hungry, h).unwrap();
+        r.place(&p, &hungry, h).unwrap();
+        assert_eq!(r.proc(h), Mips(-600.0));
+    }
+
+    #[test]
+    fn exact_fit_is_allowed() {
+        let p = phys();
+        let mut r = ResidualState::new(&p);
+        let h = p.hosts()[2];
+        let g = guest(1.0, 1024, 100.0);
+        assert!(r.fits(&g, h));
+        r.place(&p, &g, h).unwrap();
+        assert_eq!(r.mem(h), MemMb::ZERO);
+        assert!(!r.fits(&guest(0.0, 1, 0.0), h));
+    }
+
+    #[test]
+    fn route_commit_and_release() {
+        let p = phys();
+        let mut r = ResidualState::new(&p);
+        let edges: Vec<_> = p.graph().edge_ids().collect();
+        assert!(r.route_feasible(&edges, Kbps(500.0)));
+        assert!(!r.route_feasible(&edges, Kbps(500.1)));
+        r.commit_route(&edges, Kbps(300.0));
+        assert_eq!(r.bw(edges[0]), Kbps(200.0));
+        assert!(!r.route_feasible(&edges, Kbps(300.0)));
+        r.release_route(&edges, Kbps(300.0));
+        assert_eq!(r.bw(edges[0]), Kbps(500.0));
+    }
+
+    #[test]
+    fn host_proc_residuals_in_host_order() {
+        let p = phys();
+        let mut r = ResidualState::new(&p);
+        r.place(&p, &guest(250.0, 1, 1.0), p.hosts()[1]).unwrap();
+        assert_eq!(r.host_proc_residuals(&p), vec![1000.0, 750.0, 1000.0]);
+    }
+
+    #[test]
+    fn switches_are_rejected() {
+        let shape = generators::switched_cascade(2, 4);
+        let p = PhysicalTopology::from_shape(
+            &shape,
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(500.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let switch = p
+            .graph()
+            .nodes()
+            .find(|(_, n)| !n.is_host())
+            .map(|(id, _)| id)
+            .unwrap();
+        let mut r = ResidualState::new(&p);
+        assert_eq!(
+            r.place(&p, &guest(1.0, 1, 1.0), switch),
+            Err(PlaceError::NotAHost)
+        );
+    }
+}

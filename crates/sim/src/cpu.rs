@@ -1,0 +1,320 @@
+//! Time-shared host CPU simulation.
+//!
+//! Guests on a host timeshare its CPU under one of two [`RateModel`]s:
+//! the paper's **work-conserving** no-reservation model (guests split the
+//! whole host proportionally to their `vproc` weights — §3.2 makes CPU a
+//! non-constraint, and §3.2's objective discussion says a high-load host
+//! "decreases the performance of the virtual machines running on it"),
+//! or CloudSim's **capped reservation** model (full demanded rate unless
+//! oversubscribed). The work-conserving model is what couples the Eq. 10
+//! objective to experiment runtime: per-host phase time is proportional
+//! to `Σ vproc / capacity`, so the loaded host of an imbalanced mapping
+//! stretches the whole experiment.
+//!
+//! Completion times are computed event-driven: when a guest finishes, the
+//! remaining guests' rates rise, so the simulation advances in
+//! piecewise-constant-rate segments through the shared
+//! shared event queue in [`crate::engine`].
+
+use crate::engine::{EventQueue, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One compute task: a guest's work for the current phase.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuTask {
+    /// Caller's identifier for the task (e.g. guest index).
+    pub id: usize,
+    /// CPU demand in MIPS (the guest's `vproc`).
+    pub demand_mips: f64,
+    /// Work to perform, in million instructions.
+    pub work_mi: f64,
+}
+
+/// How a host's CPU is divided among resident guests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RateModel {
+    /// **No CPU reservation** (the paper's model — §3.2 explicitly makes
+    /// CPU a non-constraint): guests timeshare the whole host,
+    /// proportionally to their `vproc` weights, and a guest alone on a
+    /// big host runs *faster* than its nominal demand. Per-host phase
+    /// time is directly proportional to `Σ vproc / capacity`, which is
+    /// what couples the Eq. 10 objective to experiment runtime
+    /// ("a high load ... decreases the performance of the virtual
+    /// machines running on it").
+    #[default]
+    WorkConserving,
+    /// CloudSim-style capped reservation: each guest runs at exactly its
+    /// demanded MIPS unless the host is oversubscribed, in which case all
+    /// guests slow proportionally. Kept for comparison/ablation.
+    CappedReservation,
+}
+
+/// Simulates one host running `tasks` time-shared from time `start` under
+/// the default [`RateModel::WorkConserving`] model; returns
+/// `(task id, completion time)` for every task, in completion order
+/// (deterministic: ties resolve by task submission order).
+///
+/// `capacity_mips` is the host's effective CPU. Zero-work tasks complete
+/// immediately at `start`.
+///
+/// # Panics
+/// Panics if any demand is non-positive while its work is positive, or the
+/// capacity is non-positive with pending work.
+pub fn simulate_host(
+    capacity_mips: f64,
+    tasks: &[CpuTask],
+    start: SimTime,
+) -> Vec<(usize, SimTime)> {
+    simulate_host_with(capacity_mips, tasks, start, RateModel::WorkConserving)
+}
+
+/// [`simulate_host`] with an explicit [`RateModel`].
+pub fn simulate_host_with(
+    capacity_mips: f64,
+    tasks: &[CpuTask],
+    start: SimTime,
+    model: RateModel,
+) -> Vec<(usize, SimTime)> {
+    #[derive(Clone, Copy)]
+    struct Live {
+        idx: usize,
+        remaining: f64,
+    }
+
+    let mut done: Vec<(usize, SimTime)> = Vec::with_capacity(tasks.len());
+    let mut live: Vec<Live> = Vec::new();
+    for (idx, t) in tasks.iter().enumerate() {
+        if t.work_mi <= 0.0 {
+            done.push((t.id, start));
+        } else {
+            assert!(
+                t.demand_mips > 0.0,
+                "task {} has work but no CPU demand",
+                t.id
+            );
+            live.push(Live { idx, remaining: t.work_mi });
+        }
+    }
+    if !live.is_empty() {
+        assert!(capacity_mips > 0.0, "host has pending work but no capacity");
+    }
+
+    // Event-driven piecewise simulation: between guest completions all
+    // rates are constant, so the next event is the minimum remaining/rate.
+    let mut queue: EventQueue<()> = EventQueue::new();
+    queue.schedule(start, ());
+    queue.pop(); // position the clock at `start`
+    let mut now = start.seconds();
+
+    while !live.is_empty() {
+        let total_demand: f64 = live.iter().map(|l| tasks[l.idx].demand_mips).sum();
+        let scale = match model {
+            RateModel::WorkConserving => capacity_mips / total_demand,
+            RateModel::CappedReservation => {
+                if total_demand <= capacity_mips {
+                    1.0
+                } else {
+                    capacity_mips / total_demand
+                }
+            }
+        };
+        // Next completion under current rates.
+        let mut best_dt = f64::INFINITY;
+        for l in &live {
+            let rate = tasks[l.idx].demand_mips * scale;
+            let dt = l.remaining / rate;
+            if dt < best_dt {
+                best_dt = dt;
+            }
+        }
+        let dt = best_dt;
+        queue.schedule(SimTime(now + dt), ());
+        let (t, ()) = queue.pop().expect("just scheduled");
+        now = t.seconds();
+
+        // Advance everyone, retire the finished (allow for float fuzz).
+        let mut still_live = Vec::with_capacity(live.len());
+        for mut l in live {
+            let rate = tasks[l.idx].demand_mips * scale;
+            l.remaining -= rate * dt;
+            if l.remaining <= 1e-9 {
+                done.push((tasks[l.idx].id, t));
+            } else {
+                still_live.push(l);
+            }
+        }
+        live = still_live;
+    }
+    done
+}
+
+/// Convenience: the time at which the *last* task completes (under the
+/// default work-conserving model).
+pub fn host_makespan(capacity_mips: f64, tasks: &[CpuTask], start: SimTime) -> SimTime {
+    host_makespan_with(capacity_mips, tasks, start, RateModel::WorkConserving)
+}
+
+/// [`host_makespan`] with an explicit [`RateModel`].
+pub fn host_makespan_with(
+    capacity_mips: f64,
+    tasks: &[CpuTask],
+    start: SimTime,
+    model: RateModel,
+) -> SimTime {
+    simulate_host_with(capacity_mips, tasks, start, model)
+        .into_iter()
+        .map(|(_, t)| t)
+        .fold(start, |acc, t| if t.seconds() > acc.seconds() { t } else { acc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(id: usize, demand: f64, work: f64) -> CpuTask {
+        CpuTask { id, demand_mips: demand, work_mi: work }
+    }
+
+    fn capped(capacity: f64, tasks: &[CpuTask], start: SimTime) -> Vec<(usize, SimTime)> {
+        simulate_host_with(capacity, tasks, start, RateModel::CappedReservation)
+    }
+
+    // --- CappedReservation (CloudSim-style) semantics.
+
+    #[test]
+    fn capped_undersubscribed_host_runs_at_demand() {
+        // 1000 MIPS host, two guests demanding 100 each: no contention.
+        let out = capped(1000.0, &[t(0, 100.0, 200.0), t(1, 100.0, 400.0)], SimTime::ZERO);
+        let find = |id| out.iter().find(|(i, _)| *i == id).unwrap().1.seconds();
+        assert!((find(0) - 2.0).abs() < 1e-9);
+        assert!((find(1) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_oversubscribed_host_scales_proportionally() {
+        // 100 MIPS host, two guests each demanding 100: each runs at 50.
+        let out = capped(100.0, &[t(0, 100.0, 100.0), t(1, 100.0, 100.0)], SimTime::ZERO);
+        for (_, time) in out {
+            assert!((time.seconds() - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn capped_rates_rise_when_a_guest_finishes() {
+        // 100 MIPS host: guest 0 has 50 MI, guest 1 has 150 MI, both
+        // demand 100 MIPS. Phase 1 (both live): rate 50 each; guest 0 done
+        // at t=1 (50 MI), guest 1 has 100 MI left. Phase 2: guest 1 alone
+        // at min(demand, capacity)=100 -> +1 s. Total 2 s, NOT the 3 s a
+        // fixed 50-MIPS rate would give.
+        let out = capped(100.0, &[t(0, 100.0, 50.0), t(1, 100.0, 150.0)], SimTime::ZERO);
+        let find = |id| out.iter().find(|(i, _)| *i == id).unwrap().1.seconds();
+        assert!((find(0) - 1.0).abs() < 1e-9);
+        assert!((find(1) - 2.0).abs() < 1e-9);
+    }
+
+    // --- WorkConserving (the paper's no-reservation) semantics.
+
+    #[test]
+    fn work_conserving_uses_the_whole_host() {
+        // A lone guest demanding 100 MIPS on a 1000 MIPS host computes at
+        // the full 1000 MIPS — 10x its nominal rate.
+        let out = simulate_host(1000.0, &[t(0, 100.0, 100.0)], SimTime::ZERO);
+        assert!((out[0].1.seconds() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn work_conserving_time_tracks_utilization() {
+        // Phase time on a host = work_factor x (total demand / capacity)
+        // when all guests carry work proportional to their demand: here
+        // work = 1 s x demand, total demand 300 on a 1000 MIPS host ->
+        // everyone finishes at 0.3 s.
+        let tasks = [t(0, 100.0, 100.0), t(1, 200.0, 200.0)];
+        let out = simulate_host(1000.0, &tasks, SimTime::ZERO);
+        for (_, time) in out {
+            assert!((time.seconds() - 0.3).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn work_conserving_shares_by_demand_weight() {
+        // Demands 100 vs 300 on a 400 MIPS host: rates 100 and 300; with
+        // equal work 300 MI, guest 0 finishes at 3 s... but when guest 1
+        // finishes at 1 s, guest 0 takes the whole host (400 MIPS) for its
+        // remaining 200 MI -> total 1 + 0.5 = 1.5 s.
+        let out = simulate_host(400.0, &[t(0, 100.0, 300.0), t(1, 300.0, 300.0)], SimTime::ZERO);
+        let find = |id| out.iter().find(|(i, _)| *i == id).unwrap().1.seconds();
+        assert!((find(1) - 1.0).abs() < 1e-9);
+        assert!((find(0) - 1.5).abs() < 1e-9);
+    }
+
+    // --- Shared behaviour.
+
+    #[test]
+    fn heterogeneous_demands_share_proportionally() {
+        // 300 MIPS host; demands 100 and 200, works 100 and 200: total
+        // demand exactly equals capacity, so both finish at t=1 under
+        // either model.
+        for model in [RateModel::WorkConserving, RateModel::CappedReservation] {
+            let out = simulate_host_with(
+                300.0,
+                &[t(0, 100.0, 100.0), t(1, 200.0, 200.0)],
+                SimTime::ZERO,
+                model,
+            );
+            for (_, time) in out {
+                assert!((time.seconds() - 1.0).abs() < 1e-9, "{model:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn start_offset_is_respected() {
+        let out = simulate_host(100.0, &[t(0, 100.0, 100.0)], SimTime(10.0));
+        assert!((out[0].1.seconds() - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_work_completes_immediately() {
+        let out = capped(100.0, &[t(0, 100.0, 0.0), t(1, 100.0, 100.0)], SimTime(5.0));
+        let find = |id| out.iter().find(|(i, _)| *i == id).unwrap().1.seconds();
+        assert_eq!(find(0), 5.0);
+        assert!((find(1) - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let out = simulate_host(100.0, &[], SimTime::ZERO);
+        assert!(out.is_empty());
+        assert_eq!(host_makespan(100.0, &[], SimTime(3.0)), SimTime(3.0));
+    }
+
+    #[test]
+    fn makespan_is_last_completion() {
+        let tasks = [t(0, 100.0, 100.0), t(1, 100.0, 300.0)];
+        let m = host_makespan_with(1000.0, &tasks, SimTime::ZERO, RateModel::CappedReservation);
+        assert!((m.seconds() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balanced_hosts_beat_imbalanced_packing() {
+        // The paper's core claim in miniature: the same four guests on two
+        // 100-MIPS hosts finish sooner spread 2+2 than packed 4+0 — under
+        // both rate models.
+        let guests = [t(0, 100.0, 100.0), t(1, 100.0, 100.0), t(2, 100.0, 100.0), t(3, 100.0, 100.0)];
+        for model in [RateModel::WorkConserving, RateModel::CappedReservation] {
+            let packed = host_makespan_with(100.0, &guests, SimTime::ZERO, model);
+            let spread_a = host_makespan_with(100.0, &guests[..2], SimTime::ZERO, model);
+            let spread_b = host_makespan_with(100.0, &guests[2..], SimTime::ZERO, model);
+            let spread = spread_a.seconds().max(spread_b.seconds());
+            assert!(packed.seconds() > spread, "{model:?}");
+            assert!((packed.seconds() - 4.0).abs() < 1e-9);
+            assert!((spread - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no capacity")]
+    fn zero_capacity_with_work_panics() {
+        let _ = simulate_host(0.0, &[t(0, 10.0, 10.0)], SimTime::ZERO);
+    }
+}

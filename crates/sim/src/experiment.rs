@@ -1,0 +1,339 @@
+//! The emulated experiment whose execution time the paper correlates with
+//! the objective function (§5.2: "we found a correlation of 0.7 between the
+//! objective function and the execution time of the experiment in the
+//! simulated environment").
+//!
+//! The model is a BSP-style distributed application — the common shape of
+//! both workload families (grid/cloud apps and P2P protocols exchange
+//! messages between work phases):
+//!
+//! * the run consists of [`ExperimentSpec::rounds`] rounds;
+//! * in each round, every guest computes `work_factor x vproc` million
+//!   instructions (i.e. nominally `work_factor` seconds at its demanded
+//!   rate) on its host's time-shared CPU ([`crate::cpu`]);
+//! * then every virtual link carries one message of
+//!   [`ExperimentSpec::msg_kbits`], starting when both endpoints finish
+//!   computing ([`crate::network`]);
+//! * a global barrier ends the round when every transfer completes.
+//!
+//! The mapping enters through two channels: CPU oversubscription stretches
+//! compute phases on overloaded hosts (what Eq. 10 minimizes), and
+//! co-location/short routes shrink communication phases (what Hosting and
+//! Networking optimize).
+
+use crate::cpu::{simulate_host_with, CpuTask, RateModel};
+use crate::engine::SimTime;
+use crate::network::{max_min_fair_rates, transfer_time, NetworkModel};
+use emumap_graph::NodeId;
+use emumap_model::{Mapping, PhysicalTopology, VirtualEnvironment};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Parameters of the emulated experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Compute/communicate rounds.
+    pub rounds: usize,
+    /// Seconds of nominal compute per guest per round (work in MI is
+    /// `work_factor x vproc`).
+    pub work_factor: f64,
+    /// Message size per virtual link per round, in kilobits.
+    pub msg_kbits: f64,
+    /// CPU sharing model (default: the paper's no-reservation
+    /// work-conserving share — see [`RateModel`]).
+    pub rate_model: RateModel,
+    /// Network bandwidth model (default: reservation-enforced, the
+    /// paper's constraint semantics — see [`NetworkModel`]).
+    pub network_model: NetworkModel,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        // 10 rounds of 1 s nominal compute; 50 kbit messages (sub-second on
+        // even the slowest Table 1 virtual links).
+        ExperimentSpec {
+            rounds: 10,
+            work_factor: 1.0,
+            msg_kbits: 50.0,
+            rate_model: RateModel::WorkConserving,
+            network_model: NetworkModel::Reserved,
+        }
+    }
+}
+
+/// Result of simulating one experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Total simulated execution time, in seconds.
+    pub total_s: f64,
+    /// Per-round durations.
+    pub round_s: Vec<f64>,
+    /// Time the compute phases contributed (max per round, summed).
+    pub compute_s: f64,
+    /// Time the communication phases contributed.
+    pub network_s: f64,
+}
+
+/// Simulates the experiment on a mapped testbed.
+///
+/// Deterministic: the result is a pure function of the inputs.
+pub fn run_experiment(
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+    mapping: &Mapping,
+    spec: &ExperimentSpec,
+) -> ExperimentResult {
+    // Group guests by host once.
+    let mut by_host: HashMap<NodeId, Vec<usize>> = HashMap::new();
+    for g in venv.guest_ids() {
+        by_host.entry(mapping.host_of(g)).or_default().push(g.index());
+    }
+
+    let mut round_s = Vec::with_capacity(spec.rounds);
+    let mut compute_total = 0.0;
+    let mut network_total = 0.0;
+
+    // Under the contended model, allocated rates depend only on the
+    // mapping, so compute them once.
+    let fair_rates = match spec.network_model {
+        NetworkModel::Reserved => None,
+        NetworkModel::MaxMinFair => Some(max_min_fair_rates(phys, venv, mapping)),
+    };
+
+    // Rounds are statistically identical under this model (no state carries
+    // over except the clock), so simulate one round and scale — but keep
+    // the loop structure so future extensions (per-round workloads) slot
+    // in; the cost is negligible because guests-per-host is small.
+    for _ in 0..spec.rounds {
+        // --- Compute phase: per-host time-shared simulation.
+        let mut finish_at = vec![0.0f64; venv.guest_count()];
+        let mut compute_makespan = 0.0f64;
+        for (&host, guests) in &by_host {
+            let capacity = phys.effective_proc(host).value();
+            let tasks: Vec<CpuTask> = guests
+                .iter()
+                .map(|&gi| {
+                    let demand = venv
+                        .guest(emumap_graph::NodeId::from_index(gi))
+                        .proc
+                        .value();
+                    CpuTask { id: gi, demand_mips: demand, work_mi: spec.work_factor * demand }
+                })
+                .collect();
+            for (gi, t) in simulate_host_with(capacity, &tasks, SimTime::ZERO, spec.rate_model) {
+                finish_at[gi] = t.seconds();
+                compute_makespan = compute_makespan.max(t.seconds());
+            }
+        }
+
+        // --- Communication phase: each link's exchange starts when both
+        // endpoints finished computing.
+        let mut round_end = compute_makespan;
+        for l in venv.link_ids() {
+            let (a, b) = venv.link_endpoints(l);
+            let start = finish_at[a.index()].max(finish_at[b.index()]);
+            let dt = match &fair_rates {
+                None => transfer_time(phys, venv, mapping, l, spec.msg_kbits).seconds(),
+                Some(rates) => {
+                    let rate = rates[l.index()];
+                    let serialization = if rate.is_finite() { spec.msg_kbits / rate } else { 0.0 };
+                    serialization
+                        + crate::network::route_latency(phys, mapping, l).seconds()
+                }
+            };
+            round_end = round_end.max(start + dt);
+        }
+
+        round_s.push(round_end);
+        compute_total += compute_makespan;
+        network_total += round_end - compute_makespan;
+    }
+
+    ExperimentResult {
+        total_s: round_s.iter().sum(),
+        round_s,
+        compute_s: compute_total,
+        network_s: network_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emumap_graph::generators;
+    use emumap_model::{
+        GuestSpec, HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, Route, StorGb, VLinkSpec,
+        VmmOverhead,
+    };
+
+    fn phys_pair(cap: f64) -> PhysicalTopology {
+        PhysicalTopology::from_shape(
+            &generators::line(2),
+            std::iter::repeat(HostSpec::new(Mips(cap), MemMb(8192), StorGb(1000.0))),
+            LinkSpec::new(Kbps(1000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        )
+    }
+
+    fn venv_pair(demand: f64, bw: f64) -> VirtualEnvironment {
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(GuestSpec::new(Mips(demand), MemMb(64), StorGb(1.0)));
+        let b = venv.add_guest(GuestSpec::new(Mips(demand), MemMb(64), StorGb(1.0)));
+        venv.add_link(a, b, VLinkSpec::new(Kbps(bw), Millis(60.0)));
+        venv
+    }
+
+    #[test]
+    fn unloaded_colocated_run_takes_nominal_time() {
+        let phys = phys_pair(1000.0);
+        let venv = venv_pair(100.0, 100.0);
+        let m = Mapping::new(
+            vec![phys.hosts()[0], phys.hosts()[0]],
+            vec![Route::intra_host()],
+        );
+        let spec = ExperimentSpec { rounds: 5, work_factor: 2.0, msg_kbits: 100.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let r = run_experiment(&phys, &venv, &m, &spec);
+        // Each round: 2 s compute (no contention), 0 s network (intra-host).
+        assert!((r.total_s - 10.0).abs() < 1e-9);
+        assert!((r.compute_s - 10.0).abs() < 1e-9);
+        assert!(r.network_s.abs() < 1e-9);
+        assert_eq!(r.round_s.len(), 5);
+    }
+
+    #[test]
+    fn oversubscription_stretches_the_run() {
+        // Both guests (100 MIPS demand each) on a 100 MIPS host: rates
+        // halve, rounds double.
+        let phys = phys_pair(100.0);
+        let venv = venv_pair(100.0, 100.0);
+        let packed = Mapping::new(
+            vec![phys.hosts()[0], phys.hosts()[0]],
+            vec![Route::intra_host()],
+        );
+        let e: Vec<_> = phys.graph().edge_ids().collect();
+        let spread = Mapping::new(
+            vec![phys.hosts()[0], phys.hosts()[1]],
+            vec![Route::new(e)],
+        );
+        let spec = ExperimentSpec { rounds: 1, work_factor: 1.0, msg_kbits: 0.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let packed_r = run_experiment(&phys, &venv, &packed, &spec);
+        let spread_r = run_experiment(&phys, &venv, &spread, &spec);
+        assert!((packed_r.total_s - 2.0).abs() < 1e-9);
+        // Spread: 1 s compute + route latency only (msg 0 kbit still pays
+        // propagation 5 ms).
+        assert!((spread_r.total_s - 1.005).abs() < 1e-9);
+        assert!(packed_r.total_s > spread_r.total_s);
+    }
+
+    #[test]
+    fn network_phase_costs_serialization_plus_latency() {
+        let phys = phys_pair(1000.0);
+        let venv = venv_pair(100.0, 100.0);
+        let e: Vec<_> = phys.graph().edge_ids().collect();
+        let m = Mapping::new(vec![phys.hosts()[0], phys.hosts()[1]], vec![Route::new(e)]);
+        let spec = ExperimentSpec { rounds: 1, work_factor: 1.0, msg_kbits: 100.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let r = run_experiment(&phys, &venv, &m, &spec);
+        // 1 s compute + (100 kbit / 100 kbps = 1 s) + 5 ms.
+        assert!((r.total_s - 2.005).abs() < 1e-9);
+        assert!((r.network_s - 1.005).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staggered_compute_staggers_transfers() {
+        // Guest 0 finishes at 1 s, guest 1 (double work via double demand…
+        // no: same demand, more work) — model work via work_factor is
+        // uniform, so instead oversubscribe one host to delay its guest.
+        let phys = phys_pair(100.0);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(GuestSpec::new(Mips(100.0), MemMb(64), StorGb(1.0)));
+        let _b = venv.add_guest(GuestSpec::new(Mips(100.0), MemMb(64), StorGb(1.0)));
+        let c = venv.add_guest(GuestSpec::new(Mips(100.0), MemMb(64), StorGb(1.0)));
+        venv.add_link(a, c, VLinkSpec::new(Kbps(100.0), Millis(60.0)));
+        // a alone on host 0 (finishes at 1 s); b and c share host 1
+        // (finish at 2 s). The a-c transfer starts at 2 s.
+        let e: Vec<_> = phys.graph().edge_ids().collect();
+        let m = Mapping::new(
+            vec![phys.hosts()[0], phys.hosts()[1], phys.hosts()[1]],
+            vec![Route::new(e)],
+        );
+        let spec = ExperimentSpec { rounds: 1, work_factor: 1.0, msg_kbits: 100.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let r = run_experiment(&phys, &venv, &m, &spec);
+        // 2 s (c's compute) + 1 s serialization + 5 ms.
+        assert!((r.total_s - 3.005).abs() < 1e-9, "got {}", r.total_s);
+    }
+
+    #[test]
+    fn contended_network_model_shares_links() {
+        // Two flows over the same physical edge: under reservations each
+        // runs at its vbw; under max-min fair they split the 1000 kbps
+        // edge 500/500 — faster than a 100 kbps reservation.
+        let phys = phys_pair(1000.0);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(GuestSpec::new(Mips(100.0), MemMb(64), StorGb(1.0)));
+        let b = venv.add_guest(GuestSpec::new(Mips(100.0), MemMb(64), StorGb(1.0)));
+        venv.add_link(a, b, VLinkSpec::new(Kbps(100.0), Millis(60.0)));
+        venv.add_link(a, b, VLinkSpec::new(Kbps(100.0), Millis(60.0)));
+        let e: Vec<_> = phys.graph().edge_ids().collect();
+        let m = Mapping::new(
+            vec![phys.hosts()[0], phys.hosts()[1]],
+            vec![Route::new(e.clone()), Route::new(e)],
+        );
+        let reserved = ExperimentSpec {
+            rounds: 1,
+            work_factor: 0.0,
+            msg_kbits: 100.0,
+            rate_model: RateModel::CappedReservation,
+            network_model: NetworkModel::Reserved,
+        };
+        let fair = ExperimentSpec { network_model: NetworkModel::MaxMinFair, ..reserved };
+        let t_reserved = run_experiment(&phys, &venv, &m, &reserved).total_s;
+        let t_fair = run_experiment(&phys, &venv, &m, &fair).total_s;
+        // Reserved: 100 kbit / 100 kbps = 1 s + 5 ms.
+        assert!((t_reserved - 1.005).abs() < 1e-9);
+        // Fair: 100 kbit / 500 kbps = 0.2 s + 5 ms.
+        assert!((t_fair - 0.205).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rounds_accumulate() {
+        let phys = phys_pair(1000.0);
+        let venv = venv_pair(50.0, 100.0);
+        let m = Mapping::new(
+            vec![phys.hosts()[0], phys.hosts()[0]],
+            vec![Route::intra_host()],
+        );
+        let one = run_experiment(
+            &phys,
+            &venv,
+            &m,
+            &ExperimentSpec { rounds: 1, work_factor: 1.0, msg_kbits: 10.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved },
+        );
+        let five = run_experiment(
+            &phys,
+            &venv,
+            &m,
+            &ExperimentSpec { rounds: 5, work_factor: 1.0, msg_kbits: 10.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved },
+        );
+        assert!((five.total_s - 5.0 * one.total_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn better_balanced_mapping_runs_faster_end_to_end() {
+        // Four equal guests, two 100-MIPS hosts: 3+1 vs 2+2.
+        let phys = phys_pair(100.0);
+        let mut venv = VirtualEnvironment::new();
+        let g: Vec<_> = (0..4)
+            .map(|_| venv.add_guest(GuestSpec::new(Mips(100.0), MemMb(64), StorGb(1.0))))
+            .collect();
+        let _ = g;
+        let h = phys.hosts();
+        let lopsided = Mapping::new(vec![h[0], h[0], h[0], h[1]], vec![]);
+        let balanced = Mapping::new(vec![h[0], h[0], h[1], h[1]], vec![]);
+        let spec = ExperimentSpec { rounds: 3, work_factor: 1.0, msg_kbits: 0.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let slow = run_experiment(&phys, &venv, &lopsided, &spec);
+        let fast = run_experiment(&phys, &venv, &balanced, &spec);
+        assert!(slow.total_s > fast.total_s);
+        assert!((slow.total_s - 9.0).abs() < 1e-9); // 3 rounds x 3 s
+        assert!((fast.total_s - 6.0).abs() < 1e-9); // 3 rounds x 2 s
+    }
+}

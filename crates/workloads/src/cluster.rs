@@ -1,0 +1,218 @@
+//! Physical-cluster generation (Table 1, "Physical environment" column).
+//!
+//! The paper's cluster: 40 heterogeneous hosts — memory uniform in
+//! 1–3 GB, storage 1–3 TB, CPU 1000–3000 MIPS — connected either as a
+//! 2-D torus or through cascaded 64-port switches, every link 1 Gbps /
+//! 5 ms. "In each test, the cluster topology has been built with the same
+//! set of hosts": [`ClusterSpec::build_both`] draws the host set once and
+//! instantiates both topologies over it.
+
+use crate::sampler::{sample, Distribution, Range};
+use emumap_graph::generators::{self, Topology};
+use emumap_model::{HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, PhysicalTopology, StorGb, VmmOverhead};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which network shape connects the hosts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterTopology {
+    /// `rows x cols` 2-D torus (paper: 5x8 for 40 hosts).
+    Torus2D {
+        /// Torus rows.
+        rows: usize,
+        /// Torus columns.
+        cols: usize,
+    },
+    /// Hosts on cascaded switches with the given port count (paper: 64).
+    Switched {
+        /// Ports per switch.
+        ports: usize,
+    },
+}
+
+impl ClusterTopology {
+    /// Builds the topology shape for `n_hosts`.
+    ///
+    /// # Panics
+    /// Panics if a torus shape disagrees with `n_hosts`.
+    pub fn shape(&self, n_hosts: usize) -> Topology {
+        match *self {
+            ClusterTopology::Torus2D { rows, cols } => {
+                assert_eq!(rows * cols, n_hosts, "torus {rows}x{cols} != {n_hosts} hosts");
+                generators::torus2d(rows, cols)
+            }
+            ClusterTopology::Switched { ports } => generators::switched_cascade(n_hosts, ports),
+        }
+    }
+}
+
+/// Full description of a random heterogeneous cluster.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of hosts (paper: 40).
+    pub hosts: usize,
+    /// Host memory range in MB (paper: 1–3 GB).
+    pub mem_mb: Range,
+    /// Host storage range in GB (paper: 1–3 TB).
+    pub stor_gb: Range,
+    /// Host CPU range in MIPS (paper: 1000–3000).
+    pub cpu_mips: Range,
+    /// Link bandwidth (paper: 1 Gbps).
+    pub link_bw: Kbps,
+    /// Link latency (paper: 5 ms).
+    pub link_lat: Millis,
+    /// Sampling distribution for host resources.
+    pub distribution: Distribution,
+    /// Per-host VMM overhead (paper §3.1; Table 1 does not state one, so
+    /// the paper preset uses none).
+    pub vmm: VmmOverhead,
+}
+
+impl ClusterSpec {
+    /// The paper's Table 1 cluster.
+    pub fn paper() -> Self {
+        ClusterSpec {
+            hosts: 40,
+            mem_mb: Range::new(1024.0, 3072.0),
+            stor_gb: Range::new(1000.0, 3000.0),
+            cpu_mips: Range::new(1000.0, 3000.0),
+            link_bw: Kbps::from_gbps(1.0),
+            link_lat: Millis(5.0),
+            distribution: Distribution::Uniform,
+            vmm: VmmOverhead::NONE,
+        }
+    }
+
+    /// The paper's torus arrangement of 40 hosts (5x8).
+    pub fn paper_torus() -> ClusterTopology {
+        ClusterTopology::Torus2D { rows: 5, cols: 8 }
+    }
+
+    /// The paper's switched arrangement (cascaded 64-port switches).
+    pub fn paper_switched() -> ClusterTopology {
+        ClusterTopology::Switched { ports: 64 }
+    }
+
+    /// Draws the random host set.
+    pub fn draw_hosts<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<HostSpec> {
+        (0..self.hosts)
+            .map(|_| {
+                HostSpec::new(
+                    Mips(sample(rng, self.cpu_mips, self.distribution)),
+                    MemMb(sample(rng, self.mem_mb, self.distribution).round() as u64),
+                    StorGb(sample(rng, self.stor_gb, self.distribution)),
+                )
+            })
+            .collect()
+    }
+
+    /// Builds one cluster with freshly drawn hosts.
+    pub fn build<R: Rng + ?Sized>(
+        &self,
+        topology: ClusterTopology,
+        rng: &mut R,
+    ) -> PhysicalTopology {
+        let hosts = self.draw_hosts(rng);
+        self.build_with_hosts(topology, &hosts)
+    }
+
+    /// Builds a cluster over an explicit host set (so several topologies
+    /// can share the same hosts, as the paper's protocol requires).
+    pub fn build_with_hosts(
+        &self,
+        topology: ClusterTopology,
+        hosts: &[HostSpec],
+    ) -> PhysicalTopology {
+        assert_eq!(hosts.len(), self.hosts, "host set size mismatch");
+        let shape = topology.shape(self.hosts);
+        PhysicalTopology::from_shape(
+            &shape,
+            hosts.iter().copied(),
+            LinkSpec::new(self.link_bw, self.link_lat),
+            self.vmm,
+        )
+    }
+
+    /// Draws one host set and instantiates both paper topologies over it.
+    pub fn build_both<R: Rng + ?Sized>(&self, rng: &mut R) -> (PhysicalTopology, PhysicalTopology) {
+        let hosts = self.draw_hosts(rng);
+        (
+            self.build_with_hosts(Self::paper_torus(), &hosts),
+            self.build_with_hosts(Self::paper_switched(), &hosts),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_cluster_matches_table1() {
+        let spec = ClusterSpec::paper();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let phys = spec.build(ClusterSpec::paper_torus(), &mut rng);
+        assert_eq!(phys.host_count(), 40);
+        assert_eq!(phys.graph().edge_count(), 80); // 4-regular torus
+        for &h in phys.hosts() {
+            let s = phys.host_spec(h);
+            assert!((1000.0..=3000.0).contains(&s.proc.value()));
+            assert!((1024..=3072).contains(&s.mem.value()));
+            assert!((1000.0..=3000.0).contains(&s.stor.value()));
+        }
+        for e in phys.graph().edge_ids() {
+            assert_eq!(phys.link(e).bw, Kbps(1_000_000.0));
+            assert_eq!(phys.link(e).lat, Millis(5.0));
+        }
+    }
+
+    #[test]
+    fn switched_cluster_has_one_switch_for_40_hosts() {
+        let spec = ClusterSpec::paper();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let phys = spec.build(ClusterSpec::paper_switched(), &mut rng);
+        assert_eq!(phys.host_count(), 40);
+        assert_eq!(phys.graph().node_count(), 41);
+    }
+
+    #[test]
+    fn build_both_shares_the_host_set() {
+        let spec = ClusterSpec::paper();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (torus, switched) = spec.build_both(&mut rng);
+        for (&a, &b) in torus.hosts().iter().zip(switched.hosts().iter()) {
+            assert_eq!(torus.host_spec(a), switched.host_spec(b));
+        }
+    }
+
+    #[test]
+    fn hosts_are_heterogeneous() {
+        let spec = ClusterSpec::paper();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hosts = spec.draw_hosts(&mut rng);
+        let first = hosts[0];
+        assert!(
+            hosts.iter().any(|h| h.proc != first.proc),
+            "40 draws from a 2000-MIPS-wide range must differ"
+        );
+    }
+
+    #[test]
+    fn seeded_builds_are_reproducible() {
+        let spec = ClusterSpec::paper();
+        let a = spec.draw_hosts(&mut SmallRng::seed_from_u64(5));
+        let b = spec.draw_hosts(&mut SmallRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "torus 5x8 != 30 hosts")]
+    fn torus_shape_mismatch_panics() {
+        let mut spec = ClusterSpec::paper();
+        spec.hosts = 30;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = spec.build(ClusterSpec::paper_torus(), &mut rng);
+    }
+}

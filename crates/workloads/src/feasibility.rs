@@ -1,0 +1,127 @@
+//! Instance-feasibility prechecks.
+//!
+//! The high-level 10:1 scenario sits at ~94% mean memory utilization
+//! (400 guests × ~192 MB against 40 hosts × ~2 GB), so a nontrivial
+//! fraction of literal Table 1 draws are *unmappable by any algorithm* —
+//! sometimes total demand even exceeds total capacity. The paper's
+//! near-zero failure counts at 10:1 (HMN 5/480, RA 4/480, with successes
+//! for every heuristic) imply its generator produced mappable instances;
+//! we make that explicit with a first-fit-decreasing packability check and
+//! rejection sampling in [`crate::scenarios::instantiate`], analogous to
+//! the generator's stated connectivity guarantee. DESIGN.md records this
+//! as a substitution.
+
+use emumap_model::{HostSpec, VirtualEnvironment};
+
+/// `true` if first-fit-decreasing (by memory, checking storage too) packs
+/// every guest into the hosts. FFD is not a completeness proof — a
+/// `false` can still be packable by an exhaustive search — but it is the
+/// standard cheap certificate, and anything FFD packs is genuinely
+/// mappable (placement-wise).
+pub fn ffd_packable(hosts: &[HostSpec], venv: &VirtualEnvironment) -> bool {
+    let mut mem_free: Vec<u64> = hosts.iter().map(|h| h.mem.value()).collect();
+    let mut stor_free: Vec<f64> = hosts.iter().map(|h| h.stor.value()).collect();
+
+    // Guests by descending memory (the binding resource in Table 1).
+    let mut guests: Vec<(u64, f64)> = venv
+        .guest_ids()
+        .map(|g| {
+            let s = venv.guest(g);
+            (s.mem.value(), s.stor.value())
+        })
+        .collect();
+    guests.sort_by(|a, b| b.0.cmp(&a.0).then(b.1.total_cmp(&a.1)));
+
+    'guests: for (mem, stor) in guests {
+        for i in 0..hosts.len() {
+            if mem_free[i] >= mem && stor_free[i] >= stor {
+                mem_free[i] -= mem;
+                stor_free[i] -= stor;
+                continue 'guests;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Ratio of total guest memory demand to total host memory capacity — a
+/// quick infeasibility screen (`> 1.0` is a proof of unmappability).
+pub fn memory_utilization(hosts: &[HostSpec], venv: &VirtualEnvironment) -> f64 {
+    let capacity: u64 = hosts.iter().map(|h| h.mem.value()).sum();
+    let demand: u64 = venv.total_mem_demand().value();
+    demand as f64 / capacity as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emumap_model::{GuestSpec, MemMb, Mips, StorGb};
+
+    fn host(mem: u64, stor: f64) -> HostSpec {
+        HostSpec::new(Mips(1000.0), MemMb(mem), StorGb(stor))
+    }
+
+    fn guest(mem: u64, stor: f64) -> GuestSpec {
+        GuestSpec::new(Mips(10.0), MemMb(mem), StorGb(stor))
+    }
+
+    #[test]
+    fn packs_an_easy_instance() {
+        let hosts = vec![host(1000, 100.0); 2];
+        let mut venv = VirtualEnvironment::new();
+        for _ in 0..4 {
+            venv.add_guest(guest(400, 10.0));
+        }
+        assert!(ffd_packable(&hosts, &venv));
+    }
+
+    #[test]
+    fn rejects_total_overcommit() {
+        let hosts = vec![host(1000, 100.0)];
+        let mut venv = VirtualEnvironment::new();
+        venv.add_guest(guest(600, 1.0));
+        venv.add_guest(guest(600, 1.0));
+        assert!(!ffd_packable(&hosts, &venv));
+        assert!(memory_utilization(&hosts, &venv) > 1.0);
+    }
+
+    #[test]
+    fn ffd_handles_fragmentation_that_defeats_naive_order() {
+        // Two hosts of 1000; guests 600, 600, 400, 400. In arrival order
+        // first-fit would pair 600+400 twice — fine; but 400,400,600,600
+        // naive would pack 400+400 on host 0 and strand a 600. FFD sorts
+        // descending so it always pairs 600+400.
+        let hosts = vec![host(1000, 100.0); 2];
+        let mut venv = VirtualEnvironment::new();
+        for m in [400, 400, 600, 600] {
+            venv.add_guest(guest(m, 1.0));
+        }
+        assert!(ffd_packable(&hosts, &venv));
+    }
+
+    #[test]
+    fn storage_binds_independently() {
+        let hosts = vec![host(10_000, 10.0)];
+        let mut venv = VirtualEnvironment::new();
+        venv.add_guest(guest(10, 6.0));
+        venv.add_guest(guest(10, 6.0));
+        assert!(!ffd_packable(&hosts, &venv));
+    }
+
+    #[test]
+    fn exact_fit_packs() {
+        let hosts = vec![host(1000, 10.0)];
+        let mut venv = VirtualEnvironment::new();
+        venv.add_guest(guest(1000, 10.0));
+        assert!(ffd_packable(&hosts, &venv));
+    }
+
+    #[test]
+    fn utilization_ratio_is_exact() {
+        let hosts = vec![host(1000, 10.0), host(3000, 10.0)];
+        let mut venv = VirtualEnvironment::new();
+        venv.add_guest(guest(2000, 1.0));
+        assert!((memory_utilization(&hosts, &venv) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! # emumap-workloads
+//!
+//! Seedable generators reproducing the ICPP 2009 evaluation setup
+//! (Table 1):
+//!
+//! * [`ClusterSpec`] — the 40-host heterogeneous cluster, in 2-D-torus or
+//!   cascaded-switch arrangement;
+//! * [`VirtualEnvSpec`] — the high-level (grid/cloud) and low-level (P2P)
+//!   virtual-environment families;
+//! * [`scenarios`] — the 16-row scenario grid of Tables 2–3 with
+//!   deterministic per-repetition instantiation.
+//!
+//! Everything is a pure function of an explicit seed, so the 30-repetition
+//! experiment protocol is exactly reproducible.
+//!
+//! ```
+//! use emumap_workloads::{ClusterSpec, scenarios};
+//!
+//! let cluster = ClusterSpec::paper();
+//! let rows = scenarios::paper_scenarios();
+//! let inst = scenarios::instantiate(
+//!     &cluster, ClusterSpec::paper_torus(), &rows[0], /*rep=*/0, /*seed=*/42,
+//! );
+//! assert_eq!(inst.phys.host_count(), 40);
+//! assert_eq!(inst.venv.guest_count(), 100); // 2.5:1 on 40 hosts
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+pub mod feasibility;
+pub mod sampler;
+pub mod scenarios;
+mod venv_gen;
+
+pub use cluster::{ClusterSpec, ClusterTopology};
+pub use sampler::{sample, standard_normal, Distribution, Range};
+pub use scenarios::{instantiate, instantiate_both, paper_scenarios, Instance, Scenario, WorkloadKind};
+pub use feasibility::{ffd_packable, memory_utilization};
+pub use venv_gen::VirtualEnvSpec;

@@ -1,0 +1,141 @@
+//! Random samplers for resource generation.
+//!
+//! Table 1 gives every quantity as a `[lo, hi]` range sampled uniformly;
+//! §5.1's prose also mentions resources "generated randomly, based in a
+//! normal distribution", so a truncated-normal sampler (Box–Muller — no
+//! external distribution crate needed) is provided as an alternative.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive numeric range `[lo, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Range {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl Range {
+    /// A range; `lo` must not exceed `hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+        Range { lo, hi }
+    }
+
+    /// The midpoint of the range.
+    pub fn mid(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// The width of the range.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+}
+
+/// How values are drawn from a [`Range`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform over `[lo, hi]` — Table 1's stated distributions.
+    #[default]
+    Uniform,
+    /// Normal with mean at the midpoint and the range spanning ±3σ,
+    /// truncated (by resampling) to `[lo, hi]`.
+    TruncatedNormal,
+}
+
+/// Draws one value from `range` under `dist`.
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, range: Range, dist: Distribution) -> f64 {
+    if range.width() == 0.0 {
+        return range.lo;
+    }
+    match dist {
+        Distribution::Uniform => rng.gen_range(range.lo..=range.hi),
+        Distribution::TruncatedNormal => {
+            let mean = range.mid();
+            let sigma = range.width() / 6.0;
+            loop {
+                let v = mean + sigma * standard_normal(rng);
+                if v >= range.lo && v <= range.hi {
+                    return v;
+                }
+            }
+        }
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn range_accessors() {
+        let r = Range::new(10.0, 30.0);
+        assert_eq!(r.mid(), 20.0);
+        assert_eq!(r.width(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn inverted_range_panics() {
+        let _ = Range::new(2.0, 1.0);
+    }
+
+    #[test]
+    fn uniform_samples_stay_in_range_and_spread() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let r = Range::new(128.0, 256.0);
+        let samples: Vec<f64> = (0..2000).map(|_| sample(&mut rng, r, Distribution::Uniform)).collect();
+        assert!(samples.iter().all(|&v| (r.lo..=r.hi).contains(&v)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - r.mid()).abs() < 5.0, "uniform mean ≈ midpoint, got {mean}");
+        // Spread: both halves of the range are populated.
+        assert!(samples.iter().any(|&v| v < r.mid()));
+        assert!(samples.iter().any(|&v| v > r.mid()));
+    }
+
+    #[test]
+    fn truncated_normal_stays_in_range_and_concentrates() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let r = Range::new(0.0, 60.0);
+        let samples: Vec<f64> =
+            (0..4000).map(|_| sample(&mut rng, r, Distribution::TruncatedNormal)).collect();
+        assert!(samples.iter().all(|&v| (r.lo..=r.hi).contains(&v)));
+        // ±1σ (= width/6 = 10) around the mean should hold ~68% — far more
+        // than a uniform's 33%.
+        let near = samples.iter().filter(|&&v| (v - 30.0).abs() <= 10.0).count();
+        let frac = near as f64 / samples.len() as f64;
+        assert!(frac > 0.55, "normal concentration expected, got {frac}");
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let r = Range::new(5.0, 5.0);
+        assert_eq!(sample(&mut rng, r, Distribution::Uniform), 5.0);
+        assert_eq!(sample(&mut rng, r, Distribution::TruncatedNormal), 5.0);
+    }
+
+    #[test]
+    fn standard_normal_has_roughly_zero_mean_unit_variance() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+}

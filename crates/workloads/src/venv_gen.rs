@@ -1,0 +1,173 @@
+//! Virtual-environment generation (Table 1, "Virtual environment"
+//! columns).
+//!
+//! "The virtual environment configuration was created by a random generator
+//! that receives as input the number of guests and network density and
+//! generates an output by creating the links between guests and assigning a
+//! given amount of resources to each one. ... The algorithm used to
+//! generate the graph topology guarantees that the output graph is
+//! connected." (§5.1)
+
+use crate::sampler::{sample, Distribution, Range};
+use emumap_graph::generators::random_connected;
+use emumap_model::{GuestSpec, Kbps, MemMb, Millis, Mips, StorGb, VLinkSpec, VirtualEnvironment};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Full description of a random virtual environment.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VirtualEnvSpec {
+    /// Number of guests.
+    pub guests: usize,
+    /// Virtual-graph density (fraction of possible guest pairs linked).
+    pub density: f64,
+    /// Guest memory demand range (MB).
+    pub mem_mb: Range,
+    /// Guest storage demand range (GB).
+    pub stor_gb: Range,
+    /// Guest CPU demand range (MIPS).
+    pub cpu_mips: Range,
+    /// Virtual-link bandwidth demand range (kbps).
+    pub bw_kbps: Range,
+    /// Virtual-link latency bound range (ms).
+    pub lat_ms: Range,
+    /// Sampling distribution for all quantities.
+    pub distribution: Distribution,
+}
+
+impl VirtualEnvSpec {
+    /// The **high-level application** workload (grids, cloud middleware —
+    /// full OS stacks): Table 1's right column, for guest/host ratios up
+    /// to 10:1.
+    pub fn high_level(guests: usize, density: f64) -> Self {
+        VirtualEnvSpec {
+            guests,
+            density,
+            mem_mb: Range::new(128.0, 256.0),
+            stor_gb: Range::new(100.0, 200.0),
+            cpu_mips: Range::new(50.0, 100.0),
+            bw_kbps: Range::new(500.0, 1000.0), // 0.5–1 Mbps
+            lat_ms: Range::new(30.0, 60.0),
+            distribution: Distribution::Uniform,
+        }
+    }
+
+    /// The **low-level application** workload (P2P protocols — minimal
+    /// VMs): Table 1's middle column, for ratios 20:1–50:1.
+    pub fn low_level(guests: usize, density: f64) -> Self {
+        VirtualEnvSpec {
+            guests,
+            density,
+            mem_mb: Range::new(19.0, 38.0),
+            stor_gb: Range::new(19.0, 38.0),
+            cpu_mips: Range::new(19.0, 38.0),
+            bw_kbps: Range::new(87.0, 175.0),
+            lat_ms: Range::new(30.0, 60.0),
+            distribution: Distribution::Uniform,
+        }
+    }
+
+    /// Generates a random connected virtual environment per this spec.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> VirtualEnvironment {
+        let shape = random_connected(self.guests, self.density, rng);
+        let mut venv = VirtualEnvironment::new();
+        for _ in 0..self.guests {
+            venv.add_guest(GuestSpec::new(
+                Mips(sample(rng, self.cpu_mips, self.distribution)),
+                MemMb(sample(rng, self.mem_mb, self.distribution).round() as u64),
+                StorGb(sample(rng, self.stor_gb, self.distribution)),
+            ));
+        }
+        for e in shape.edges() {
+            venv.add_link(
+                e.a,
+                e.b,
+                VLinkSpec::new(
+                    Kbps(sample(rng, self.bw_kbps, self.distribution)),
+                    Millis(sample(rng, self.lat_ms, self.distribution)),
+                ),
+            );
+        }
+        venv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emumap_graph::algo::is_connected;
+    use emumap_graph::generators::edges_for_density;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn high_level_respects_table1_ranges() {
+        let spec = VirtualEnvSpec::high_level(100, 0.02);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let venv = spec.generate(&mut rng);
+        assert_eq!(venv.guest_count(), 100);
+        assert_eq!(venv.link_count(), edges_for_density(100, 0.02));
+        for g in venv.guest_ids() {
+            let spec = venv.guest(g);
+            assert!((128..=256).contains(&spec.mem.value()));
+            assert!((100.0..=200.0).contains(&spec.stor.value()));
+            assert!((50.0..=100.0).contains(&spec.proc.value()));
+        }
+        for l in venv.link_ids() {
+            let spec = venv.link(l);
+            assert!((500.0..=1000.0).contains(&spec.bw.value()));
+            assert!((30.0..=60.0).contains(&spec.lat.value()));
+        }
+    }
+
+    #[test]
+    fn low_level_respects_table1_ranges() {
+        let spec = VirtualEnvSpec::low_level(800, 0.01);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let venv = spec.generate(&mut rng);
+        assert_eq!(venv.guest_count(), 800);
+        for g in venv.guest_ids() {
+            let s = venv.guest(g);
+            assert!((19..=38).contains(&s.mem.value()));
+            assert!((19.0..=38.0).contains(&s.stor.value()));
+            assert!((19.0..=38.0).contains(&s.proc.value()));
+        }
+        for l in venv.link_ids() {
+            let s = venv.link(l);
+            assert!((87.0..=175.0).contains(&s.bw.value()));
+        }
+    }
+
+    #[test]
+    fn generated_topology_is_connected() {
+        let spec = VirtualEnvSpec::high_level(150, 0.015);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let venv = spec.generate(&mut rng);
+        assert!(is_connected(venv.graph()));
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let spec = VirtualEnvSpec::low_level(200, 0.01);
+        let a = spec.generate(&mut SmallRng::seed_from_u64(9));
+        let b = spec.generate(&mut SmallRng::seed_from_u64(9));
+        assert_eq!(a.guest_count(), b.guest_count());
+        for g in a.guest_ids() {
+            assert_eq!(a.guest(g), b.guest(g));
+        }
+        for l in a.link_ids() {
+            assert_eq!(a.link(l), b.link(l));
+            assert_eq!(a.link_endpoints(l), b.link_endpoints(l));
+        }
+    }
+
+    #[test]
+    fn normal_distribution_option_works() {
+        let mut spec = VirtualEnvSpec::high_level(50, 0.05);
+        spec.distribution = Distribution::TruncatedNormal;
+        let venv = spec.generate(&mut SmallRng::seed_from_u64(4));
+        for g in venv.guest_ids() {
+            assert!((128..=256).contains(&venv.guest(g).mem.value()));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The §6 future-work vision: "offer to the emulator a pool of different
+//! heuristics that might be selected according to the emulated scenario."
+//!
+//! §5.2 admits "HMN may fail in finding a mapping in scenarios in which
+//! the requirements of the virtual system is too close to the resource
+//! availability". This example constructs such a scenario — one that
+//! exploits a real quirk of the Hosting stage: co-location of a
+//! high-bandwidth pair is only attempted on *the first host of the
+//! CPU-sorted list* (§4.1); if the pair does not fit **there**, the guests
+//! are split even when they would fit together on another host. When the
+//! split link demands more bandwidth than any physical link carries, the
+//! Networking stage must fail. Random placement, which co-locates the
+//! pair by chance under retries, recovers — so a pool with an RA fallback
+//! keeps the emulator usable.
+//!
+//! ```sh
+//! cargo run --release --example heuristic_pool
+//! ```
+
+use emumap::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The adversarial instance:
+///
+/// * host 0 has the most CPU (so Hosting tries it first) but tiny memory —
+///   it can take ONE of the heavy guests, not both;
+/// * every other host could take the pair comfortably;
+/// * the pair's virtual link demands 5 Mbps, 2.5x any physical link — it
+///   is only mappable intra-host.
+fn adversarial_instance() -> (PhysicalTopology, VirtualEnvironment) {
+    let shape = generators::ring(12);
+    let mut specs = vec![HostSpec::new(Mips(3000.0), MemMb(300), StorGb(500.0))];
+    for i in 0..11 {
+        specs.push(HostSpec::new(
+            Mips(1000.0 + 100.0 * i as f64),
+            MemMb(2048),
+            StorGb(500.0),
+        ));
+    }
+    let phys = PhysicalTopology::from_shape(
+        &shape,
+        specs.into_iter(),
+        LinkSpec::new(Kbps(2_000.0), Millis(5.0)),
+        VmmOverhead::NONE,
+    );
+
+    let mut venv = VirtualEnvironment::new();
+    // The heavy pair: must share a host.
+    let a = venv.add_guest(GuestSpec::new(Mips(120.0), MemMb(200), StorGb(20.0)));
+    let b = venv.add_guest(GuestSpec::new(Mips(110.0), MemMb(200), StorGb(20.0)));
+    venv.add_link(a, b, VLinkSpec::new(Kbps(5_000.0), Millis(60.0)));
+    // Background population with modest links (all easily routable).
+    let mut prev = b;
+    for i in 0..14 {
+        let g = venv.add_guest(GuestSpec::new(
+            Mips(50.0 + 5.0 * i as f64),
+            MemMb(150),
+            StorGb(10.0),
+        ));
+        venv.add_link(prev, g, VLinkSpec::new(Kbps(200.0), Millis(60.0)));
+        prev = g;
+    }
+    (phys, venv)
+}
+
+fn report(label: &str, result: Result<MapOutcome, MapError>) {
+    match result {
+        Ok(out) => println!(
+            "{label:<22} ok   objective {:>7.1}  hosts {:>2}  attempts {:>3}",
+            out.objective,
+            out.mapping.hosts_used(),
+            out.stats.attempts
+        ),
+        Err(e) => println!("{label:<22} FAIL ({e})"),
+    }
+}
+
+fn main() {
+    let (phys, venv) = adversarial_instance();
+    println!(
+        "adversarial instance: a 5 Mbps virtual pair (physical links: 2 Mbps) that only \
+         fits together on a host the Hosting stage refuses to pair them on\n"
+    );
+
+    // HMN fails deterministically: hosting splits the pair, networking
+    // cannot route 5 Mbps over 2 Mbps links.
+    report("HMN", Hmn::new().map(&phys, &venv, &mut SmallRng::seed_from_u64(0)));
+
+    // RA succeeds: random placement co-locates the pair within a few
+    // hundred retries (probability ~1/12 per attempt).
+    report(
+        "RA",
+        RandomAStar::default().map(&phys, &venv, &mut SmallRng::seed_from_u64(0)),
+    );
+
+    // First-success pool: prefer HMN, fall back to RA, then R.
+    let fallback = HeuristicPool::new(
+        vec![
+            Box::new(Hmn::new()),
+            Box::new(RandomAStar::default()),
+            Box::new(RandomDfs::default()),
+        ],
+        PoolPolicy::FirstSuccess,
+    );
+    report(
+        "pool[HMN->RA->R]",
+        fallback.map(&phys, &venv, &mut SmallRng::seed_from_u64(0)),
+    );
+
+    // The §6 research direction made concrete: a Hosting variant that
+    // scans for the first host fitting BOTH guests (instead of only trying
+    // the head of the CPU-sorted list) repairs this instance outright —
+    // with Migration pinned off so it cannot re-split the pair.
+    report(
+        "HMN[colocation-fix]",
+        Hmn::with_config(HmnConfig {
+            hosting: HostingPolicy::FirstFitColocation,
+            migration: MigrationPolicy::Off,
+            ..Default::default()
+        })
+        .map(&phys, &venv, &mut SmallRng::seed_from_u64(0)),
+    );
+
+    // Simulated annealing searches placement space directly and also
+    // recovers (its inter-host-bandwidth energy term pulls the pair
+    // together).
+    report(
+        "SA",
+        Annealing {
+            config: AnnealingConfig { bandwidth_weight: 4.0, ..Default::default() },
+        }
+        .map(&phys, &venv, &mut SmallRng::seed_from_u64(0)),
+    );
+
+    // Best-objective pool: run everything, keep the best balance.
+    let racing = HeuristicPool::new(
+        vec![
+            Box::new(Hmn::new()),
+            Box::new(RandomAStar::default()),
+            Box::new(HostingDfs::default()),
+        ],
+        PoolPolicy::BestObjective,
+    );
+    report(
+        "pool[best-objective]",
+        racing.map(&phys, &venv, &mut SmallRng::seed_from_u64(0)),
+    );
+
+    println!("\n(the pool keeps the emulator usable exactly where a single heuristic fails)");
+}

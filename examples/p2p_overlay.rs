@@ -1,0 +1,117 @@
+//! P2P-protocol testbed (the paper's *low-level* use case, §5, after
+//! Quétier et al.'s V-DS experiments): emulate a 1200-node peer-to-peer
+//! overlay — minimal VMs, a ring-plus-fingers Chord-like topology — at a
+//! 30:1 consolidation ratio, and watch where HMN spends its time.
+//!
+//! ```sh
+//! cargo run --release --example p2p_overlay
+//! ```
+
+use emumap::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A Chord-like overlay: `n` peers in a ring, each with `fingers` shortcut
+/// links at exponentially growing distances.
+fn chord_overlay(n: usize, fingers: usize, rng: &mut SmallRng) -> VirtualEnvironment {
+    let mut venv = VirtualEnvironment::new();
+    let peers: Vec<_> = (0..n)
+        .map(|_| {
+            venv.add_guest(GuestSpec::new(
+                Mips(rng.gen_range(19.0..=38.0)),
+                MemMb(rng.gen_range(19..=38)),
+                StorGb(rng.gen_range(19.0..=38.0)),
+            ))
+        })
+        .collect();
+    let link = |rng: &mut SmallRng| {
+        VLinkSpec::new(
+            Kbps(rng.gen_range(87.0..=175.0)),
+            Millis(rng.gen_range(30.0..=60.0)),
+        )
+    };
+    // Ring successors.
+    for i in 0..n {
+        venv.add_link(peers[i], peers[(i + 1) % n], link(rng));
+    }
+    // Finger tables: shortcuts at distance 2, 4, 8, ...
+    for i in 0..n {
+        let mut d = 2usize;
+        for _ in 0..fingers {
+            if d >= n {
+                break;
+            }
+            venv.add_link(peers[i], peers[(i + d) % n], link(rng));
+            d *= 2;
+        }
+    }
+    venv
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    let cluster = ClusterSpec::paper();
+    // P2P emulations often run on commodity switched clusters.
+    let phys = cluster.build(ClusterSpec::paper_switched(), &mut rng);
+
+    let peers = 1200; // 30:1 on 40 hosts
+    let venv = chord_overlay(peers, 4, &mut rng);
+    println!(
+        "P2P overlay: {} peers, {} overlay links ({}:1 guests per host)\n",
+        venv.guest_count(),
+        venv.link_count(),
+        peers / phys.host_count()
+    );
+
+    let outcome = Hmn::new()
+        .map(&phys, &venv, &mut rng)
+        .expect("low-level workload fits the cluster");
+    validate_mapping(&phys, &venv, &outcome.mapping).expect("invalid mapping");
+
+    println!("HMN mapped the overlay:");
+    println!("  objective (Eq. 10)    : {:.1} MIPS stddev", outcome.objective);
+    println!("  migrations performed  : {}", outcome.stats.migrations);
+    println!(
+        "  links routed / intra  : {} / {}",
+        outcome.stats.routed_links, outcome.stats.intra_host_links
+    );
+    println!(
+        "  stage times           : hosting {:?} | migration {:?} | networking {:?}",
+        outcome.stats.placement_time, outcome.stats.migration_time, outcome.stats.networking_time
+    );
+    println!("  total mapping time    : {:?}", outcome.stats.total_time);
+
+    // Per-host occupancy histogram: how hard was each host packed?
+    let groups = outcome.mapping.guests_by_host();
+    let mut counts: Vec<usize> = groups.values().map(|g| g.len()).collect();
+    counts.sort_unstable();
+    println!(
+        "\nguests per used host: min {}, median {}, max {} ({} hosts used)",
+        counts.first().unwrap(),
+        counts[counts.len() / 2],
+        counts.last().unwrap(),
+        counts.len()
+    );
+
+    // On the switched topology every inter-host route is host-switch-host:
+    // §5.2 notes mapping time is sub-second there because "there is only
+    // one possible path to each virtual link".
+    let max_hops = venv
+        .link_ids()
+        .map(|l| outcome.mapping.route_of(l).hop_count())
+        .max()
+        .unwrap();
+    println!("longest route: {max_hops} physical hops (switched cluster: always 2)");
+
+    // A quick protocol round on the emulated overlay.
+    let sim = run_experiment(
+        &phys,
+        &venv,
+        &outcome.mapping,
+        &ExperimentSpec { rounds: 5, work_factor: 0.5, msg_kbits: 20.0, ..Default::default() },
+    );
+    println!(
+        "\n5 gossip rounds on the emulated overlay: {:.2}s ({:.2}s compute, {:.2}s network)",
+        sim.total_s, sim.compute_s, sim.network_s
+    );
+}

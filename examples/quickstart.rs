@@ -1,0 +1,63 @@
+//! Quickstart: map a small virtual environment onto the paper's 40-host
+//! cluster with HMN, validate it, and run the emulated experiment.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use emumap::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2009);
+
+    // 1. The physical testbed: the paper's heterogeneous 40-host cluster,
+    //    arranged as a 5x8 2-D torus with 1 Gbps / 5 ms links.
+    let cluster = ClusterSpec::paper();
+    let phys = cluster.build(ClusterSpec::paper_torus(), &mut rng);
+    println!(
+        "cluster: {} hosts, {} links, {:.0} MIPS total CPU",
+        phys.host_count(),
+        phys.graph().edge_count(),
+        phys.total_effective_proc().value()
+    );
+
+    // 2. The virtual environment to emulate: 100 full-stack guests
+    //    (memory 128-256 MB, storage 100-200 GB, 50-100 MIPS) in a random
+    //    connected graph of density 0.02.
+    let venv = VirtualEnvSpec::high_level(100, 0.02).generate(&mut rng);
+    println!(
+        "virtual environment: {} guests, {} virtual links",
+        venv.guest_count(),
+        venv.link_count()
+    );
+
+    // 3. Map with the HMN heuristic.
+    let outcome = Hmn::new()
+        .map(&phys, &venv, &mut rng)
+        .expect("the 2.5:1 scenario is comfortably mappable");
+    println!(
+        "HMN: objective = {:.1} MIPS stddev | {} migrations | {} links routed, {} intra-host",
+        outcome.objective,
+        outcome.stats.migrations,
+        outcome.stats.routed_links,
+        outcome.stats.intra_host_links,
+    );
+    println!(
+        "stage times: hosting {:?}, migration {:?}, networking {:?}",
+        outcome.stats.placement_time, outcome.stats.migration_time, outcome.stats.networking_time,
+    );
+
+    // 4. Independently verify every constraint of the paper's formal model
+    //    (Eqs. 1-9).
+    validate_mapping(&phys, &venv, &outcome.mapping).expect("mapping violates the formal model");
+    println!("mapping validates against Eqs. 1-9");
+
+    // 5. Run the emulated experiment on the mapped testbed.
+    let result = run_experiment(&phys, &venv, &outcome.mapping, &ExperimentSpec::default());
+    println!(
+        "emulated experiment: {:.2}s total ({:.2}s compute, {:.2}s network)",
+        result.total_s, result.compute_s, result.network_s
+    );
+}

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Splice the harness outputs (results/*.txt) into EXPERIMENTS.md.
+
+Each `<!-- MARKER -->` placeholder is replaced with a fenced code block
+containing the corresponding harness output. Idempotent: reruns replace the
+previously spliced blocks.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXPERIMENTS = ROOT / "EXPERIMENTS.md"
+RESULTS = ROOT / "results"
+
+SPLICES = {
+    "TABLE2_RESULTS": "table2.txt",
+    "TABLE3_RESULTS": "table3.txt",
+    "FIGURE1_RESULTS": "figure1.txt",
+    "CORRELATION_RESULTS": "correlation.txt",
+}
+
+
+def block(marker: str, body: str) -> str:
+    return f"<!-- {marker} -->\n```text\n{body.rstrip()}\n```\n<!-- /{marker} -->"
+
+
+def main() -> int:
+    text = EXPERIMENTS.read_text()
+    missing = []
+    for marker, filename in SPLICES.items():
+        path = RESULTS / filename
+        if not path.exists():
+            missing.append(filename)
+            continue
+        body = path.read_text()
+        spliced = block(marker, body)
+        # Replace an existing spliced block, or the bare placeholder.
+        pattern = re.compile(
+            rf"<!-- {marker} -->.*?<!-- /{marker} -->", re.DOTALL
+        )
+        if pattern.search(text):
+            text = pattern.sub(lambda _m: spliced, text)
+        elif f"<!-- {marker} -->" in text:
+            text = text.replace(f"<!-- {marker} -->", spliced)
+        else:
+            print(f"warning: no marker {marker} in EXPERIMENTS.md", file=sys.stderr)
+    EXPERIMENTS.write_text(text)
+    if missing:
+        print(f"missing results (run the harness first): {', '.join(missing)}", file=sys.stderr)
+        return 1
+    print("EXPERIMENTS.md updated")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+//! End-to-end runs of (reduced) paper scenarios across all mappers, with
+//! every produced mapping checked against the formal model.
+
+use emumap::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn mappers() -> Vec<Box<dyn Mapper>> {
+    vec![
+        Box::new(Hmn::new()),
+        Box::new(RandomDfs::default()),
+        Box::new(RandomAStar::default()),
+        Box::new(HostingDfs::default()),
+    ]
+}
+
+#[test]
+fn every_mapper_validates_on_the_easy_high_level_scenario() {
+    let cluster = ClusterSpec::paper();
+    let scenario = Scenario { ratio: 2.5, density: 0.02, workload: WorkloadKind::HighLevel };
+    let (torus, switched) = instantiate_both(&cluster, &scenario, 0, 42);
+    for inst in [&torus, &switched] {
+        for mapper in mappers() {
+            let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
+            match mapper.map(&inst.phys, &inst.venv, &mut rng) {
+                Ok(out) => {
+                    assert_eq!(
+                        validate_mapping(&inst.phys, &inst.venv, &out.mapping),
+                        Ok(()),
+                        "{} produced an invalid mapping",
+                        mapper.name()
+                    );
+                    assert!(out.objective >= 0.0);
+                }
+                Err(e) => {
+                    // Only the DFS-routing baselines may fail here, and only
+                    // on the torus (the switched path is unique and short).
+                    assert!(
+                        matches!(e, MapError::RetriesExhausted { .. }),
+                        "{} failed unexpectedly: {e}",
+                        mapper.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn hmn_beats_random_astar_on_objective() {
+    // The core Table 2 relationship: HMN's objective is well below RA's on
+    // the same instances (both always succeed on the switched cluster).
+    let cluster = ClusterSpec::paper();
+    let mut hmn_total = 0.0;
+    let mut ra_total = 0.0;
+    let mut n = 0;
+    for rep in 0..3 {
+        let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+        let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, rep, 7);
+        let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
+        let hmn = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("HMN maps 5:1");
+        let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
+        let ra = RandomAStar::default()
+            .map(&inst.phys, &inst.venv, &mut rng)
+            .expect("RA maps 5:1");
+        hmn_total += hmn.objective;
+        ra_total += ra.objective;
+        n += 1;
+    }
+    assert!(n > 0);
+    assert!(
+        hmn_total < ra_total * 0.85,
+        "HMN should clearly beat RA on load balance: {hmn_total:.1} vs {ra_total:.1}"
+    );
+}
+
+#[test]
+fn hmn_handles_the_largest_low_level_scenario() {
+    // 50:1 — 2000 guests, the paper's biggest instance.
+    let cluster = ClusterSpec::paper();
+    let scenario = Scenario { ratio: 50.0, density: 0.01, workload: WorkloadKind::LowLevel };
+    let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 11);
+    assert_eq!(inst.venv.guest_count(), 2000);
+    let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
+    let out = Hmn::new()
+        .map(&inst.phys, &inst.venv, &mut rng)
+        .expect("the low-level workload is comfortably mappable");
+    assert_eq!(validate_mapping(&inst.phys, &inst.venv, &out.mapping), Ok(()));
+    assert_eq!(
+        out.stats.routed_links + out.stats.intra_host_links,
+        inst.venv.link_count()
+    );
+}
+
+#[test]
+fn both_clusters_share_instances_and_hmn_placement_is_identical() {
+    // HMN's Hosting and Migration only look at host resources, so on the
+    // same host set the placement is the same on both topologies; only the
+    // routes differ.
+    let cluster = ClusterSpec::paper();
+    let scenario = Scenario { ratio: 5.0, density: 0.015, workload: WorkloadKind::HighLevel };
+    let (torus, switched) = instantiate_both(&cluster, &scenario, 1, 99);
+    let mut rng = SmallRng::seed_from_u64(torus.mapper_seed);
+    let a = Hmn::new().map(&torus.phys, &torus.venv, &mut rng).expect("maps");
+    let mut rng = SmallRng::seed_from_u64(switched.mapper_seed);
+    let b = Hmn::new().map(&switched.phys, &switched.venv, &mut rng).expect("maps");
+    assert_eq!(a.mapping.placement(), b.mapping.placement());
+    assert!((a.objective - b.objective).abs() < 1e-9);
+}
+
+#[test]
+fn pool_of_everything_is_at_least_as_good_as_hmn() {
+    let cluster = ClusterSpec::paper();
+    let scenario = Scenario { ratio: 7.5, density: 0.02, workload: WorkloadKind::HighLevel };
+    let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, 0, 5);
+    let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
+    let hmn = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("maps");
+    let pool = HeuristicPool::new(
+        vec![
+            Box::new(Hmn::new()),
+            Box::new(RandomAStar::default()),
+            Box::new(HostingDfs::default()),
+        ],
+        PoolPolicy::BestObjective,
+    );
+    let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
+    let best = pool.map(&inst.phys, &inst.venv, &mut rng).expect("pool maps");
+    assert!(best.objective <= hmn.objective + 1e-9);
+}
