@@ -61,7 +61,10 @@ fn hmn_experiment_is_faster_than_random_astar_on_the_same_instance() {
     let scenario = Scenario { ratio: 10.0, density: 0.02, workload: WorkloadKind::HighLevel };
     let mut hmn_wins = 0;
     let mut total = 0;
-    for rep in 0..5 {
+    // Hosting legitimately fails on some reps at this 25:1 guest:host
+    // ratio (memory pressure), so sample enough reps that at least three
+    // instances are mappable by both heuristics.
+    for rep in 0..12 {
         let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, rep, 21);
         let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
         let Ok(hmn) = Hmn::new().map(&inst.phys, &inst.venv, &mut rng) else { continue };

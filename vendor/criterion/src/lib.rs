@@ -1,0 +1,326 @@
+//! In-tree shim of the `criterion` API surface used by this workspace:
+//! `criterion_group!`/`criterion_main!`, benchmark groups, `iter` /
+//! `iter_with_setup`, `BenchmarkId`, `Throughput`, `black_box`.
+//!
+//! Measurement is plain wall-clock sampling (warm-up, then `sample_size`
+//! timed runs capped by `measurement_time`) with a summary line per
+//! benchmark — no statistical analysis, HTML reports, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, so benchmarked results aren't
+/// dead-code-eliminated.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, reported as a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Collected timings for one benchmark.
+#[derive(Debug, Clone)]
+pub struct SampleSummary {
+    /// Per-sample wall-clock times.
+    pub samples: Vec<Duration>,
+}
+
+impl SampleSummary {
+    /// Mean sample time in seconds.
+    pub fn mean_s(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(Duration::as_secs_f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Fastest sample in seconds.
+    pub fn min_s(&self) -> f64 {
+        self.samples.iter().map(Duration::as_secs_f64).fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// The timing harness handed to benchmark closures.
+pub struct Bencher<'m> {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    summary: &'m mut Option<SampleSummary>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.run(|| {
+            let start = Instant::now();
+            black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh un-timed `setup()` output each run.
+    pub fn iter_with_setup<S, O, F, R>(&mut self, mut setup: F, mut routine: R)
+    where
+        F: FnMut() -> S,
+        R: FnMut(S) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            start.elapsed()
+        });
+    }
+
+    fn run(&mut self, mut timed_once: impl FnMut() -> Duration) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            timed_once();
+        }
+        // Sampling: `sample_size` runs, stopping early only if the
+        // measurement budget is exhausted (always keeping >= 1 sample).
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            samples.push(timed_once());
+            if measure_start.elapsed() > self.measurement && !samples.is_empty() {
+                break;
+            }
+        }
+        *self.summary = Some(SampleSummary { samples });
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+    results: &'c mut Vec<(String, SampleSummary)>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Wall-clock budget for the sampling phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the throughput reported for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut summary = None;
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            summary: &mut summary,
+        };
+        f(&mut bencher);
+        self.record(&id, summary);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut summary = None;
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            summary: &mut summary,
+        };
+        f(&mut bencher, input);
+        self.record(&id, summary);
+        self
+    }
+
+    fn record(&mut self, id: &BenchmarkId, summary: Option<SampleSummary>) {
+        let Some(summary) = summary else { return };
+        let full = format!("{}/{}", self.name, id.id);
+        let mean = summary.mean_s();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{full:<60} mean {:>12}  min {:>12}  ({} samples){rate}",
+            format_time(mean),
+            format_time(summary.min_s()),
+            summary.samples.len()
+        );
+        self.results.push((full, summary));
+    }
+
+    /// Ends the group (kept for API parity; results are printed as each
+    /// benchmark finishes).
+    pub fn finish(&mut self) {}
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    results: Vec<(String, SampleSummary)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 100,
+            warm_up: Duration::from_secs(3),
+            measurement: Duration::from_secs(5),
+            throughput: None,
+            results: &mut self.results,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+
+    /// All recorded `(name, summary)` pairs, in run order.
+    pub fn results(&self) -> &[(String, SampleSummary)] {
+        &self.results
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. --bench); accept
+            // and ignore them like the real criterion does.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_records_samples() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(50));
+            g.bench_function("noop", |b| b.iter(|| 1 + 1));
+            g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+                b.iter_with_setup(|| x, |v| v * 2)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert!(c.results().iter().all(|(_, s)| !s.samples.is_empty()));
+        assert_eq!(c.results()[0].0, "g/noop");
+        assert_eq!(c.results()[1].0, "g/param/7");
+    }
+}

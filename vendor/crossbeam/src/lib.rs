@@ -1,0 +1,119 @@
+//! In-tree shim of the `crossbeam` API surface used by this workspace:
+//! scoped threads (backed by `std::thread::scope`) and a lock-based
+//! `queue::SegQueue`. See `vendor/README.md`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread handle passed to [`scope`] closures and to spawned
+/// workers (crossbeam passes the scope again as the worker argument).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker inside the scope. The closure receives the scope
+    /// itself, mirroring crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned workers are joined before
+/// returning. Returns `Err` with the panic payload if `f` or any worker
+/// panicked, matching crossbeam's `thread::scope` contract.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Crossbeam-compatible `thread` module alias (`crossbeam::thread::scope`).
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC queue. The real crate is lock-free; this shim uses
+    /// a mutex, which is plenty for the bench runner's work distribution.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueues an element.
+        pub fn push(&self, value: T) {
+            self.inner.lock().expect("SegQueue poisoned").push_back(value);
+        }
+
+        /// Dequeues the oldest element, `None` when empty.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("SegQueue poisoned").pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("SegQueue poisoned").len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+
+    #[test]
+    fn scoped_workers_drain_a_shared_queue() {
+        let q = SegQueue::new();
+        for i in 0..100u64 {
+            q.push(i);
+        }
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    while let Some(v) = q.pop() {
+                        sum.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.load(std::sync::atomic::Ordering::Relaxed), 4950);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scope_reports_worker_panic() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

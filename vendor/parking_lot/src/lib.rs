@@ -1,0 +1,113 @@
+//! In-tree shim of the `parking_lot` API surface used by this workspace:
+//! `Mutex` and `RwLock` with non-poisoning, non-`Result` lock methods,
+//! backed by `std::sync`. See `vendor/README.md`.
+
+use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
+/// Mutex whose `lock()` returns the guard directly (parking_lot style).
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poison (parking_lot has no poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// RwLock whose `read()`/`write()` return guards directly.
+pub struct RwLock<T: ?Sized> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates an RwLock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock { inner: std::sync::RwLock::new(value) }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read guard, ignoring poison.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Acquires an exclusive write guard, ignoring poison.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Mutex, RwLock};
+
+    #[test]
+    fn mutex_guard_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_guard_roundtrip() {
+        let l = RwLock::new(vec![1, 2]);
+        l.write().push(3);
+        assert_eq!(l.read().len(), 3);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,463 @@
+//! In-tree shim of the `proptest` API surface used by this workspace:
+//! the `proptest!` macro, `prop_assert*`/`prop_assume`, range/tuple/
+//! `prop_map`/`any` strategies, and `prop::collection::vec`.
+//!
+//! Unlike the real crate there is no shrinking: a failing case panics
+//! with its test name, iteration, and seed, which (generation being a
+//! pure function of that seed) is enough to reproduce it. Case counts
+//! honor `ProptestConfig::with_cases` and the `PROPTEST_CASES` env var.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+pub mod test_runner {
+    //! Runner types mirroring `proptest::test_runner`.
+
+    /// Why a test case did not pass: a real failure, or an input
+    /// rejected by `prop_assume!`.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// Assertion failure — the property is violated.
+        Fail(String),
+        /// Input rejected by an assumption; the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, func: f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    func: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.strategy.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types with a full-domain default strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning many magnitudes.
+        let unit: f64 = rng.gen();
+        let exp = rng.gen_range(-60i32..60) as f64;
+        (unit - 0.5) * exp.exp2()
+    }
+}
+
+/// Strategy for [`Arbitrary`] types.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The default full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+pub mod collection {
+    //! Collection strategies mirroring `proptest::collection`.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                0
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Module alias so `prop::collection::vec` resolves as in the real crate.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// FNV-1a over the test name, giving each test its own seed stream.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drives one `proptest!` test: runs cases until `config.cases` succeed
+/// (or `PROPTEST_CASES` overrides the count), panicking on the first
+/// failure with enough detail to reproduce it.
+pub fn run_proptest(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(config.cases);
+    let base = name_hash(name);
+    let max_rejects = cases.saturating_mul(16).saturating_add(256);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut iteration = 0u64;
+    while passed < cases {
+        let seed = base ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest {name}: too many rejected inputs \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name} failed at iteration {iteration} (seed {seed:#x}): {msg}"
+                );
+            }
+        }
+        iteration += 1;
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(
+                    ::std::concat!("assertion failed: ", ::std::stringify!($cond)),
+                ),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    __l,
+                    __r
+                )),
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+),
+                    __l,
+                    __r
+                )),
+            );
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    ::std::stringify!($left),
+                    ::std::stringify!($right),
+                    __l
+                )),
+            );
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(
+                    ::std::concat!("assumption failed: ", ::std::stringify!($cond)),
+                ),
+            );
+        }
+    };
+}
+
+/// The proptest entry macro: wraps `fn name(pat in strategy, ...) { .. }`
+/// items into `#[test]` functions driven by [`run_proptest`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_proptest(
+                ::std::stringify!($name),
+                &__config,
+                |__rng| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { @cfg($cfg) $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..8, x in 0.25f64..0.75, s in any::<u64>()) {
+            prop_assert!((3..8).contains(&n));
+            prop_assert!((0.25..0.75).contains(&x));
+            let _ = s;
+        }
+
+        #[test]
+        fn prop_map_and_tuples_compose(
+            (a, b) in (1u32..5, 10u32..20).prop_map(|(a, b)| (a * 2, b))
+        ) {
+            prop_assert!(a % 2 == 0);
+            prop_assert!((10..20).contains(&b));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec(0usize..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn assume_rejects_and_retries(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        use crate::Strategy;
+        let strat = (0u64..1000, 0.0f64..1.0);
+        let mut r1 = crate::TestRng::seed_from_u64(5);
+        let mut r2 = crate::TestRng::seed_from_u64(5);
+        assert_eq!(strat.generate(&mut r1).0, strat.generate(&mut r2).0);
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,473 @@
+//! In-tree shim of the `serde` API surface used by this workspace.
+//!
+//! Instead of serde's visitor machinery, serialization goes through a
+//! JSON-shaped [`Value`] data model: `Serialize` renders a type to a
+//! `Value`, `Deserialize` rebuilds it from one. The derive macros in
+//! `serde_derive` generate both directions with serde's default wire
+//! format (named struct → object, newtype → inner value, tuple struct →
+//! array, externally tagged enums), so files written by this shim parse
+//! with the real serde_json and vice versa — with one documented
+//! exception: non-finite floats are written as the strings
+//! `"Infinity"` / `"-Infinity"` / `"NaN"` rather than `null`, so the
+//! intra-host infinite-bandwidth sentinel survives a round trip.
+
+/// The self-describing data model every type serializes through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative or fitting-in-i64 integer.
+    I64(i64),
+    /// Integer above `i64::MAX`.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Map with string keys; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object's entries, or an error naming `ctx`.
+    pub fn expect_object(&self, ctx: &str) -> Result<&[(String, Value)], DeError> {
+        match self {
+            Value::Object(pairs) => Ok(pairs),
+            other => Err(DeError::new(format!("{ctx}: expected object, found {}", other.kind()))),
+        }
+    }
+
+    /// The array's elements, or an error naming `ctx`.
+    pub fn expect_array(&self, ctx: &str) -> Result<&[Value], DeError> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(DeError::new(format!("{ctx}: expected array, found {}", other.kind()))),
+        }
+    }
+
+    /// The array's elements checked to be exactly `len` long.
+    pub fn expect_tuple(&self, len: usize, ctx: &str) -> Result<&[Value], DeError> {
+        let items = self.expect_array(ctx)?;
+        if items.len() != len {
+            return Err(DeError::new(format!(
+                "{ctx}: expected array of length {len}, found length {}",
+                items.len()
+            )));
+        }
+        Ok(items)
+    }
+}
+
+/// Deserialization error: a plain message, like serde_json's.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error from a message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types renderable to the [`Value`] data model.
+pub trait Serialize {
+    /// Renders `self` as a `Value`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types rebuildable from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a `Value`.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+pub mod de {
+    //! Deserialization helpers mirroring `serde::de`.
+
+    /// Owned deserialization marker; with the `Value` model every
+    /// [`crate::Deserialize`] is already owned.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+
+    pub use crate::DeError as Error;
+}
+
+pub mod ser {
+    //! Serialization helpers mirroring `serde::ser`.
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Fetches and deserializes a required struct field from object entries
+/// (used by derive-generated code).
+pub fn __field<T: Deserialize>(
+    pairs: &[(String, Value)],
+    key: &str,
+    ctx: &str,
+) -> Result<T, DeError> {
+    match pairs.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => T::from_value(v)
+            .map_err(|e| DeError::new(format!("{ctx}.{key}: {e}"))),
+        None => Err(DeError::new(format!("{ctx}: missing field `{key}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i128 = match value {
+                    Value::I64(n) => *n as i128,
+                    Value::U64(n) => *n as i128,
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::new(format!("integer {wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as u64;
+                if n <= i64::MAX as u64 {
+                    Value::I64(n as i64)
+                } else {
+                    Value::U64(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: u64 = match value {
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    Value::U64(n) => *n,
+                    Value::I64(n) => {
+                        return Err(DeError::new(format!(
+                            "integer {n} out of range for {}", stringify!($t)
+                        )))
+                    }
+                    other => {
+                        return Err(DeError::new(format!(
+                            "expected integer, found {}", other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::new(format!("integer {wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            // Non-finite sentinel strings written by the serializer.
+            Value::Str(s) if s == "Infinity" => Ok(f64::INFINITY),
+            Value::Str(s) if s == "-Infinity" => Ok(f64::NEG_INFINITY),
+            Value::Str(s) if s == "NaN" => Ok(f64::NAN),
+            other => Err(DeError::new(format!("expected number, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::new(format!("expected single-char string, found {}", other.kind()))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .expect_array("Vec")?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value.expect_tuple(N, "array")?;
+        let parsed: Result<Vec<T>, DeError> = items.iter().map(T::from_value).collect();
+        parsed.map(|v| v.try_into().expect("length checked"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+) of $len:expr;)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value.expect_tuple($len, "tuple")?;
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0) of 1;
+    (A.0, B.1) of 2;
+    (A.0, B.1, C.2) of 3;
+    (A.0, B.1, C.2, D.3) of 4;
+}
+
+impl<K: Serialize + ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_value() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn nonfinite_floats_roundtrip_via_sentinel_strings() {
+        let v = Value::Str("Infinity".to_string());
+        assert_eq!(f64::from_value(&v).unwrap(), f64::INFINITY);
+        let v = Value::Str("-Infinity".to_string());
+        assert_eq!(f64::from_value(&v).unwrap(), f64::NEG_INFINITY);
+        let v = Value::Str("NaN".to_string());
+        assert!(f64::from_value(&v).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_roundtrip_through_value() {
+        let xs = vec![(1u32, 2u32), (3, 4)];
+        let back: Vec<(u32, u32)> = Deserialize::from_value(&xs.to_value()).unwrap();
+        assert_eq!(back, xs);
+        let opt: Option<u64> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        let got: Option<u64> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn missing_field_names_context() {
+        let pairs = vec![("a".to_string(), Value::I64(1))];
+        let err = __field::<u32>(&pairs, "b", "Foo").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}

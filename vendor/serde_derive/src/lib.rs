@@ -1,0 +1,438 @@
+//! Derive macros for the in-tree serde shim (`vendor/serde`).
+//!
+//! The workspace uses no `#[serde(...)]` attributes, so the derives can
+//! be small: parse the item's shape straight from the token stream (no
+//! syn/quote in the offline build environment) and emit `to_value` /
+//! `from_value` impls in serde's default wire format — named struct →
+//! object, newtype → inner value, tuple struct → array, externally
+//! tagged enum variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+#[derive(Debug)]
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Advances past any `#[...]` attributes (including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        if *i + 1 < tokens.len()
+            && is_punct(&tokens[*i], '#')
+            && matches!(&tokens[*i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 2;
+            continue;
+        }
+        if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+            *i += 1;
+            if *i < tokens.len()
+                && matches!(&tokens[*i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                *i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+}
+
+/// Parses `<...>` at `tokens[*i]` (if present), returning the type
+/// parameter names. Lifetimes and const parameters are skipped.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if *i >= tokens.len() || !is_punct(&tokens[*i], '<') {
+        return params;
+    }
+    let mut depth = 0i32;
+    let mut expecting = false;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                if depth == 1 {
+                    expecting = true;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 => expecting = false,
+            TokenTree::Ident(id) if depth == 1 && expecting => {
+                let s = id.to_string();
+                expecting = false;
+                if s != "const" {
+                    params.push(s);
+                }
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Splits a delimited group's tokens on commas at angle-bracket depth 0
+/// (nested `()`/`[]`/`{}` are single `Group` tokens and hide their own
+/// commas; only `<...>` needs explicit depth tracking).
+fn split_top_level(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle = 0i32;
+    for t in tokens {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field names of a named-field group body.
+fn parse_named_fields(group: Vec<TokenTree>) -> Vec<String> {
+    split_top_level(group)
+        .into_iter()
+        .filter_map(|field| {
+            let mut i = 0;
+            skip_attrs_and_vis(&field, &mut i);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Parses enum variants from the enum body group.
+fn parse_variants(group: Vec<TokenTree>) -> Vec<Variant> {
+    split_top_level(group)
+        .into_iter()
+        .filter_map(|var| {
+            let mut i = 0;
+            skip_attrs_and_vis(&var, &mut i);
+            let name = match var.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            i += 1;
+            let shape = match var.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(split_top_level(g.stream().into_iter().collect()).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream().into_iter().collect()))
+                }
+                _ => Shape::Unit,
+            };
+            Some(Variant { name, shape })
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("derive: expected `struct` or `enum`, found {:?}", tokens[i].to_string());
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive: expected type name, found {:?}", other.to_string()),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+
+    // Locate the body. Tuple structs have `( .. )` (possibly before a
+    // where clause); named structs and enums have a brace group, which a
+    // where clause may precede.
+    if !is_enum {
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                let fields = split_top_level(g.stream().into_iter().collect()).len();
+                return Input { name, generics, kind: Kind::TupleStruct(fields) };
+            }
+        }
+        if tokens.get(i).map(|t| is_punct(t, ';')).unwrap_or(false) {
+            return Input { name, generics, kind: Kind::UnitStruct };
+        }
+    }
+    // Skip a where clause, if any, to the brace-delimited body.
+    while i < tokens.len() {
+        if let TokenTree::Group(g) = &tokens[i] {
+            if g.delimiter() == Delimiter::Brace {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let kind = if is_enum {
+                    Kind::Enum(parse_variants(body))
+                } else {
+                    Kind::NamedStruct(parse_named_fields(body))
+                };
+                return Input { name, generics, kind };
+            }
+        }
+        i += 1;
+    }
+    panic!("derive: could not find body of `{name}`");
+}
+
+/// `impl<T: Bound, ..> Trait for Name<T, ..>` header.
+fn impl_header(trait_path: &str, input: &Input) -> String {
+    if input.generics.is_empty() {
+        format!("impl {trait_path} for {}", input.name)
+    } else {
+        let bounded: Vec<String> =
+            input.generics.iter().map(|g| format!("{g}: {trait_path}")).collect();
+        format!(
+            "impl<{}> {trait_path} for {}<{}>",
+            bounded.join(", "),
+            input.name,
+            input.generics.join(", ")
+        )
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Array(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Object(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let code = format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header("::serde::Serialize", &input)
+    );
+    code.parse().expect("derive(Serialize): generated code failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::UnitStruct => format!(
+            "match __value {{ \
+             ::serde::Value::Null => ::std::result::Result::Ok({name}), \
+             __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+             \"{name}: expected null, found {{}}\", __other.kind()))) }}"
+        ),
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.expect_tuple({n}, \"{name}\")?; \
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__pairs, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let __pairs = __value.expect_object(\"{name}\")?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __items = \
+                                 __inner.expect_tuple({n}, \"{name}::{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn}({})) }},",
+                                items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::__field(__vp, \"{f}\", \"{name}::{vn}\")?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ let __vp = \
+                                 __inner.expect_object(\"{name}::{vn}\")?; \
+                                 ::std::result::Result::Ok({name}::{vn} {{ {} }}) }},",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{ \
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {} \
+                 __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+                 \"unknown unit variant `{{}}` of {name}\", __other))) }}, \
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{ \
+                 let (__tag, __inner) = &__pairs[0]; \
+                 match __tag.as_str() {{ \
+                 {} \
+                 __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+                 \"unknown variant `{{}}` of {name}\", __other))) }} }}, \
+                 __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
+                 \"{name}: expected variant string or single-key object, found {{}}\", \
+                 __other.kind()))) }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    let code = format!(
+        "{} {{ fn from_value(__value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        impl_header("::serde::Deserialize", &input)
+    );
+    code.parse().expect("derive(Deserialize): generated code failed to parse")
+}
