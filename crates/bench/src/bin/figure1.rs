@@ -11,7 +11,8 @@
 //! ```
 
 use emumap_bench::cli::parse_args;
-use emumap_bench::runner::{run_one, MapperKind};
+use emumap_bench::parallel::ParallelRunner;
+use emumap_bench::runner::{run_one_cached, MapperKind};
 use emumap_bench::stats::{mean, sample_stddev};
 use emumap_workloads::{instantiate, ClusterSpec, Scenario, WorkloadKind};
 use serde::Serialize;
@@ -35,16 +36,26 @@ fn main() {
     // The low-level sweep: 20:1 .. 50:1 at density 0.01, as in the paper's
     // largest runs, plus intermediate ratios for a smoother curve.
     let ratios = [20.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0];
-    let mut points: Vec<Point> = Vec::new();
 
+    // Every (ratio, rep) trial is a pure function of its seeds, so the
+    // sweep fans out over the worker pool; results come back in input
+    // order, keeping the bucket series identical to a sequential run.
+    let runner = ParallelRunner::new(args.config.threads);
     eprintln!(
-        "sweeping {} ratios x {} reps on the torus cluster...",
+        "sweeping {} ratios x {} reps on the torus cluster ({} threads)...",
         ratios.len(),
-        args.config.reps
+        args.config.reps,
+        runner.threads()
     );
+    let mut trials: Vec<(f64, u32)> = Vec::new();
     for &ratio in &ratios {
-        let scenario = Scenario { ratio, density: 0.01, workload: WorkloadKind::LowLevel };
         for rep in 0..args.config.reps {
+            trials.push((ratio, rep));
+        }
+    }
+    let points: Vec<Point> = runner
+        .run(trials, |(ratio, rep), cache| {
+            let scenario = Scenario { ratio, density: 0.01, workload: WorkloadKind::LowLevel };
             let inst = instantiate(
                 &cluster,
                 ClusterSpec::paper_torus(),
@@ -52,27 +63,29 @@ fn main() {
                 rep,
                 args.config.seed,
             );
-            let Some(m) = run_one(
+            let Some(m) = run_one_cached(
                 &inst.phys,
                 &inst.venv,
                 MapperKind::Hmn,
                 inst.mapper_seed,
                 args.config.max_attempts,
                 false,
+                cache,
             ) else {
                 eprintln!("  {ratio}:1 rep {rep}: HMN failed (skipped)");
-                continue;
+                return None;
             };
-            points.push(Point {
+            Some(Point {
                 guests: inst.venv.guest_count(),
                 total_links: inst.venv.link_count(),
                 routed_links: m.routed_links,
                 map_time_s: m.map_time_s,
                 networking_time_s: m.networking_time_s,
-            });
-        }
-        eprintln!("  ratio {ratio}:1 done");
-    }
+            })
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     // Bucket by routed links (1000-link buckets) and print mean +/- stddev,
     // the series Figure 1 plots.

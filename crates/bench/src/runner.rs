@@ -6,13 +6,12 @@
 //! embarrassingly parallel). Each item is a pure function of its seeds, so
 //! results are identical at any thread count.
 
+use crate::parallel::ParallelRunner;
 use crate::stats;
-use crossbeam::queue::SegQueue;
-use emumap_core::{Hmn, HostingDfs, Mapper, RandomAStar, RandomDfs};
+use emumap_core::{Hmn, HostingDfs, MapCache, Mapper, RandomAStar, RandomDfs};
 use emumap_model::{PhysicalTopology, VirtualEnvironment};
 use emumap_sim::{run_experiment, ExperimentSpec};
 use emumap_workloads::{instantiate_both, ClusterSpec, Scenario};
-use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -155,6 +154,8 @@ impl Default for RunConfig {
 }
 
 /// Executes one mapper on one instance, measuring everything.
+///
+/// Convenience wrapper over [`run_one_cached`] with a fresh cache.
 pub fn run_one(
     phys: &PhysicalTopology,
     venv: &VirtualEnvironment,
@@ -163,10 +164,24 @@ pub fn run_one(
     max_attempts: usize,
     simulate: bool,
 ) -> Option<Measurement> {
+    run_one_cached(phys, venv, kind, mapper_seed, max_attempts, simulate, &mut MapCache::new())
+}
+
+/// [`run_one`] with a caller-owned warm [`MapCache`] — the hot path used
+/// by [`ParallelRunner`] workers. Identical results for any cache history.
+pub fn run_one_cached(
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+    kind: MapperKind,
+    mapper_seed: u64,
+    max_attempts: usize,
+    simulate: bool,
+    cache: &mut MapCache,
+) -> Option<Measurement> {
     let mapper = kind.build(max_attempts);
     let mut rng = SmallRng::seed_from_u64(mapper_seed);
     let start = Instant::now();
-    let outcome = mapper.map(phys, venv, &mut rng).ok()?;
+    let outcome = mapper.map_with_cache(phys, venv, &mut rng, cache).ok()?;
     let map_time_s = start.elapsed().as_secs_f64();
     debug_assert_eq!(
         emumap_model::validate_mapping(phys, venv, &outcome.mapping),
@@ -198,30 +213,50 @@ pub fn run_grid(
 
     // Work items: one per (scenario, rep); each instantiates both clusters
     // once and runs every mapper on them, amortizing generation.
-    struct Item {
-        scenario_idx: usize,
-        rep: u32,
-    }
-    let work: SegQueue<Item> = SegQueue::new();
+    let mut work: Vec<(usize, u32)> = Vec::with_capacity(scenarios.len() * config.reps as usize);
     for (scenario_idx, _) in scenarios.iter().enumerate() {
         for rep in 0..config.reps {
-            work.push(Item { scenario_idx, rep });
+            work.push((scenario_idx, rep));
         }
     }
 
+    // Fan the items out; every item returns its per-(cluster, mapper)
+    // outcomes, which are folded sequentially below — so cell contents are
+    // in deterministic (scenario, rep) order at any thread count.
+    let runner = ParallelRunner::new(config.threads);
+    let outcomes: Vec<Vec<(Cluster, usize, Option<Measurement>)>> =
+        runner.run(work.clone(), |(scenario_idx, rep), cache| {
+            let scenario = &scenarios[scenario_idx];
+            let (torus, switched) = instantiate_both(&cluster_spec, scenario, rep, config.seed);
+            let mut out = Vec::with_capacity(2 * mappers.len());
+            for (cluster, inst) in [(Cluster::Torus, &torus), (Cluster::Switched, &switched)] {
+                for (mi, &kind) in mappers.iter().enumerate() {
+                    let m = run_one_cached(
+                        &inst.phys,
+                        &inst.venv,
+                        kind,
+                        inst.mapper_seed ^ (mi as u64) << 56,
+                        config.max_attempts,
+                        config.simulate,
+                        cache,
+                    );
+                    out.push((cluster, mi, m));
+                }
+            }
+            out
+        });
+
     // Result cells, indexed [scenario][cluster][mapper].
-    let cells: Vec<Mutex<CellResult>> = scenarios
+    let mut cells: Vec<CellResult> = scenarios
         .iter()
         .flat_map(|s| {
             Cluster::BOTH.iter().flat_map(move |&cluster| {
-                mappers.iter().map(move |&mapper| {
-                    Mutex::new(CellResult {
-                        scenario: s.label(),
-                        cluster,
-                        mapper,
-                        successes: Vec::new(),
-                        failures: 0,
-                    })
+                mappers.iter().map(move |&mapper| CellResult {
+                    scenario: s.label(),
+                    cluster,
+                    mapper,
+                    successes: Vec::new(),
+                    failures: 0,
                 })
             })
         })
@@ -234,46 +269,17 @@ pub fn run_grid(
         (scenario_idx * 2 + c) * mappers.len() + mapper_idx
     };
 
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        config.threads
-    };
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                while let Some(item) = work.pop() {
-                    let scenario = &scenarios[item.scenario_idx];
-                    let (torus, switched) =
-                        instantiate_both(&cluster_spec, scenario, item.rep, config.seed);
-                    for (cluster, inst) in
-                        [(Cluster::Torus, &torus), (Cluster::Switched, &switched)]
-                    {
-                        for (mi, &kind) in mappers.iter().enumerate() {
-                            let m = run_one(
-                                &inst.phys,
-                                &inst.venv,
-                                kind,
-                                inst.mapper_seed ^ (mi as u64) << 56,
-                                config.max_attempts,
-                                config.simulate,
-                            );
-                            let mut cell =
-                                cells[cell_index(item.scenario_idx, cluster, mi)].lock();
-                            match m {
-                                Some(measurement) => cell.successes.push(measurement),
-                                None => cell.failures += 1,
-                            }
-                        }
-                    }
-                }
-            });
+    for (&(scenario_idx, _), item_outcomes) in work.iter().zip(outcomes) {
+        for (cluster, mi, m) in item_outcomes {
+            let cell = &mut cells[cell_index(scenario_idx, cluster, mi)];
+            match m {
+                Some(measurement) => cell.successes.push(measurement),
+                None => cell.failures += 1,
+            }
         }
-    })
-    .expect("worker thread panicked");
+    }
 
-    cells.into_iter().map(|m| m.into_inner()).collect()
+    cells
 }
 
 #[cfg(test)]
@@ -322,10 +328,10 @@ mod tests {
         let a = run_grid(&scenarios, &[MapperKind::Hmn, MapperKind::Ra], &base);
         let b = run_grid(&scenarios, &[MapperKind::Hmn, MapperKind::Ra], &multi);
         for (x, y) in a.iter().zip(b.iter()) {
-            let mut ox: Vec<f64> = x.successes.iter().map(|m| m.objective).collect();
-            let mut oy: Vec<f64> = y.successes.iter().map(|m| m.objective).collect();
-            ox.sort_by(f64::total_cmp);
-            oy.sort_by(f64::total_cmp);
+            // Results fold in input (scenario, rep) order at any thread
+            // count, so cell contents match element-for-element unsorted.
+            let ox: Vec<f64> = x.successes.iter().map(|m| m.objective).collect();
+            let oy: Vec<f64> = y.successes.iter().map(|m| m.objective).collect();
             assert_eq!(ox, oy, "{:?}/{:?}", x.cluster, x.mapper);
         }
     }

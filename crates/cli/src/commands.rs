@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 use crate::args::Parsed;
+use emumap_bench::parallel::ParallelRunner;
 use emumap_core::{
     cluster_diagnostics, BestFit, ConsolidatingHmn, FirstFitDecreasing, HeuristicPool, Hmn,
     HostingDfs, MapOutcome, Mapper, PoolPolicy, RandomAStar, RandomDfs, WorstFit,
@@ -63,6 +64,12 @@ subcommands:
   simulate --phys phys.json --venv venv.json --mapping mapping.json
       [--rounds N] [--work-factor F] [--msg-kbits K]
       run the emulated experiment and print its execution time
+  batch --phys phys.json --venv venv.json
+      [--mapper NAME[,NAME..]|all] [--reps N] [--seed S] [--threads T]
+      [--attempts A] [-o trials.json]
+      run repeated mapping trials across a worker pool (per-worker warm
+      caches; deterministic at any thread count) and print per-mapper
+      success rates, mean objective and mean mapping time
   inspect --phys phys.json [--venv venv.json] [--mapping mapping.json]
       [--dot out.dot]
       summarize a topology / environment / mapping; optionally export the
@@ -122,6 +129,7 @@ pub fn run(parsed: &Parsed) -> Result<Vec<String>, CliError> {
         "map" => map_cmd(parsed),
         "validate" => validate_cmd(parsed),
         "simulate" => simulate_cmd(parsed),
+        "batch" => batch_cmd(parsed),
         "inspect" => inspect_cmd(parsed),
         "help" | "-h" | "--help" => Ok(vec![USAGE.to_string()]),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
@@ -233,6 +241,18 @@ fn map_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         ),
         format!("attempts        : {}", outcome.stats.attempts),
         format!("map time        : {:?}", outcome.stats.total_time),
+        format!(
+            "search          : {} A* expansions, {} heap pushes, {} scratch reuses",
+            outcome.stats.astar_expansions,
+            outcome.stats.astar_pushed,
+            outcome.stats.scratch_reuses
+        ),
+        format!(
+            "tables          : {} Dijkstra runs ({} hop tables), {} warm-cache hits",
+            outcome.stats.dijkstra_runs,
+            outcome.stats.hop_tables,
+            outcome.stats.ar_cache_hits
+        ),
     ];
     if let Some(out) = p.optional("out") {
         write_json(out, &outcome.mapping)?;
@@ -277,6 +297,118 @@ fn simulate_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         format!("  compute       : {:.4}s", result.compute_s),
         format!("  network       : {:.4}s", result.network_s),
     ])
+}
+
+/// One trial's record in `batch -o` output.
+#[derive(serde::Serialize)]
+struct TrialRecord {
+    mapper: String,
+    rep: u32,
+    seed: u64,
+    ok: bool,
+    objective: Option<f64>,
+    map_time_s: Option<f64>,
+    routed_links: Option<usize>,
+    networking_time_s: Option<f64>,
+}
+
+fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
+    let phys: PhysicalTopology = read_json(p.required("phys").map_err(CliError::Usage)?)?;
+    let venv: VirtualEnvironment = read_json(p.required("venv").map_err(CliError::Usage)?)?;
+    let reps: u32 = p.parse_or("reps", 10).map_err(CliError::Usage)?;
+    let seed: u64 = p.parse_or("seed", 2009).map_err(CliError::Usage)?;
+    let threads: usize = p.parse_or("threads", 0).map_err(CliError::Usage)?;
+    let attempts: usize = p
+        .parse_or("attempts", emumap_core::DEFAULT_MAX_ATTEMPTS)
+        .map_err(CliError::Usage)?;
+
+    let spec = p.optional("mapper").unwrap_or("hmn");
+    let names: Vec<String> = if spec == "all" {
+        ["hmn", "r", "ra", "hs"].iter().map(|s| s.to_string()).collect()
+    } else {
+        spec.split(',').map(|s| s.trim().to_string()).collect()
+    };
+    // Validate every name up front so the workers can unwrap.
+    for name in &names {
+        build_mapper(name, attempts)?;
+    }
+
+    let mut work: Vec<(usize, u32)> = Vec::new();
+    for mi in 0..names.len() {
+        for rep in 0..reps {
+            work.push((mi, rep));
+        }
+    }
+    // Per-trial seed: decorrelate reps with a golden-ratio stride and keep
+    // mappers on disjoint streams via the high byte.
+    let trial_seed = |mi: usize, rep: u32| {
+        seed ^ (u64::from(rep)).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((mi as u64) << 56)
+    };
+
+    let runner = ParallelRunner::new(threads);
+    let started = std::time::Instant::now();
+    let records: Vec<TrialRecord> = runner.run(work, |(mi, rep), cache| {
+        let mapper = build_mapper(&names[mi], attempts).expect("validated above");
+        let s = trial_seed(mi, rep);
+        let mut rng = SmallRng::seed_from_u64(s);
+        match mapper.map_with_cache(&phys, &venv, &mut rng, cache) {
+            Ok(o) => TrialRecord {
+                mapper: names[mi].clone(),
+                rep,
+                seed: s,
+                ok: true,
+                objective: Some(o.objective),
+                map_time_s: Some(o.stats.total_time.as_secs_f64()),
+                routed_links: Some(o.stats.routed_links),
+                networking_time_s: Some(o.stats.networking_time.as_secs_f64()),
+            },
+            Err(_) => TrialRecord {
+                mapper: names[mi].clone(),
+                rep,
+                seed: s,
+                ok: false,
+                objective: None,
+                map_time_s: None,
+                routed_links: None,
+                networking_time_s: None,
+            },
+        }
+    });
+    let wall = started.elapsed();
+
+    let mut lines = vec![format!(
+        "batch           : {} trials ({} mappers x {} reps) on {} threads in {:.3}s",
+        records.len(),
+        names.len(),
+        reps,
+        runner.threads(),
+        wall.as_secs_f64()
+    )];
+    for name in &names {
+        let of_mapper: Vec<&TrialRecord> = records.iter().filter(|r| &r.mapper == name).collect();
+        let ok: Vec<&&TrialRecord> = of_mapper.iter().filter(|r| r.ok).collect();
+        let mean = |f: fn(&TrialRecord) -> Option<f64>| -> Option<f64> {
+            let vals: Vec<f64> = ok.iter().filter_map(|r| f(r)).collect();
+            (!vals.is_empty()).then(|| vals.iter().sum::<f64>() / vals.len() as f64)
+        };
+        let fmt = |v: Option<f64>, precision: usize| match v {
+            Some(v) => format!("{v:.precision$}"),
+            None => "—".to_string(),
+        };
+        lines.push(format!(
+            "  {:<12}: {}/{} ok, mean objective {}, mean map time {}s",
+            name,
+            ok.len(),
+            of_mapper.len(),
+            fmt(mean(|r| r.objective), 1),
+            fmt(mean(|r| r.map_time_s), 4),
+        ));
+    }
+    if let Some(out) = p.optional("out") {
+        write_json(out, &records)?;
+        lines.push(format!("wrote {out}"));
+    }
+    Ok(lines)
 }
 
 fn inspect_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
@@ -499,6 +631,86 @@ mod tests {
         ])
         .unwrap_err();
         assert!(matches!(err, CliError::Invalid(_)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn batch_runs_deterministically_across_thread_counts() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let phys_s = phys.to_str().unwrap();
+        let venv_s = venv.to_str().unwrap();
+        run_tokens(&["gen-cluster", "--topology", "torus", "--seed", "1", "-o", phys_s]).unwrap();
+        run_tokens(&["gen-venv", "--guests", "60", "--density", "0.03", "--seed", "2", "-o", venv_s])
+            .unwrap();
+
+        let run_at = |threads: &str, out: &str| {
+            run_tokens(&[
+                "batch", "--phys", phys_s, "--venv", venv_s, "--mapper", "all", "--reps", "2",
+                "--threads", threads, "-o", out,
+            ])
+            .expect("batch")
+        };
+        let one = dir.join("t1.json");
+        let four = dir.join("t4.json");
+        let lines = run_at("1", one.to_str().unwrap());
+        run_at("4", four.to_str().unwrap());
+        assert!(lines.iter().any(|l| l.contains("8 trials")), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("hmn")), "{lines:?}");
+        // Wall-clock fields naturally differ; every deterministic field
+        // (mapper, rep, seed, ok, objective, routed_links) must not.
+        let strip = |path: &std::path::Path| -> serde::Value {
+            let mut v =
+                serde_json::value_from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+            let serde::Value::Array(recs) = &mut v else { panic!("expected array") };
+            for rec in recs {
+                let serde::Value::Object(pairs) = rec else { panic!("expected object") };
+                pairs.retain(|(k, _)| k != "map_time_s" && k != "networking_time_s");
+            }
+            v
+        };
+        assert_eq!(
+            strip(&one),
+            strip(&four),
+            "batch outcomes must not depend on the thread count"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn batch_rejects_unknown_mapper() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let phys_s = phys.to_str().unwrap();
+        let venv_s = venv.to_str().unwrap();
+        run_tokens(&["gen-cluster", "--seed", "1", "-o", phys_s]).unwrap();
+        run_tokens(&["gen-venv", "--guests", "10", "--density", "0.1", "--seed", "2", "-o", venv_s])
+            .unwrap();
+        let err = run_tokens(&[
+            "batch", "--phys", phys_s, "--venv", venv_s, "--mapper", "hmn,nope",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn map_prints_search_and_table_counters() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let phys_s = phys.to_str().unwrap();
+        let venv_s = venv.to_str().unwrap();
+        run_tokens(&["gen-cluster", "--topology", "torus", "--seed", "1", "-o", phys_s]).unwrap();
+        run_tokens(&["gen-venv", "--guests", "50", "--density", "0.05", "--seed", "2", "-o", venv_s])
+            .unwrap();
+        let lines =
+            run_tokens(&["map", "--phys", phys_s, "--venv", venv_s, "--mapper", "hmn"]).unwrap();
+        let text = lines.join("\n");
+        assert!(text.contains("A* expansions"), "{text}");
+        assert!(text.contains("Dijkstra runs"), "{text}");
         std::fs::remove_dir_all(dir).ok();
     }
 

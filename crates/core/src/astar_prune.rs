@@ -22,7 +22,7 @@
 //! Partial paths are stored in an arena (parent-pointer tree) so expanding
 //! a path is O(1) in memory instead of cloning edge vectors.
 
-use emumap_graph::{EdgeId, NodeId};
+use emumap_graph::{CsrAdjacency, EdgeId, NodeId};
 use emumap_model::{Kbps, Millis, PhysicalTopology, ResidualState};
 use std::collections::BinaryHeap;
 
@@ -76,6 +76,7 @@ pub struct SearchStats {
 }
 
 /// One arena slot: a partial path represented as a parent pointer.
+#[derive(Debug)]
 struct PathNode {
     parent: u32,
     /// Edge taken from the parent's end node (undefined for the root).
@@ -89,6 +90,7 @@ const ROOT: u32 = u32::MAX;
 /// A candidate in the priority queue. `key` is built so that the
 /// lexicographic max-order of `BinaryHeap` pops the best candidate first
 /// under either metric.
+#[derive(Debug)]
 struct Candidate {
     key: [f64; 4],
     arena_index: u32,
@@ -129,6 +131,48 @@ fn make_key(metric: PathMetric, bottleneck: f64, latency: f64, hops: u32, seq: u
     }
 }
 
+/// Reusable buffers for [`astar_prune_with`]: the partial-path arena, the
+/// candidate heap, and the on-path scratch.
+///
+/// One search of a paper-scale instance pushes thousands of arena nodes and
+/// heap candidates; a mapping routes thousands of links, so a fresh
+/// allocation per search puts the allocator squarely on the hot path.
+/// Keeping one `RouteScratch` per worker amortizes those buffers across
+/// every search of a trial (and across trials): after warm-up the search
+/// itself allocates nothing but the returned edge sequence.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    arena: Vec<PathNode>,
+    heap: BinaryHeap<Candidate>,
+    on_path: Vec<NodeId>,
+    warm: bool,
+    reuses: usize,
+}
+
+impl RouteScratch {
+    /// Fresh, cold scratch.
+    pub fn new() -> Self {
+        RouteScratch::default()
+    }
+
+    /// Searches that ran on already-warm buffers (every use after the
+    /// first). Surfaced in `MapStats::scratch_reuses`.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+
+    /// Clears the buffers for a new search, keeping their capacity.
+    fn begin(&mut self) {
+        if self.warm {
+            self.reuses += 1;
+        }
+        self.warm = true;
+        self.arena.clear();
+        self.heap.clear();
+        self.on_path.clear();
+    }
+}
+
 /// Finds a path from `origin` to `destination` with residual bandwidth
 /// `>= demand` on every edge and total latency `<= latency_bound`,
 /// maximizing the configured metric. Returns the edge sequence and search
@@ -140,6 +184,11 @@ fn make_key(metric: PathMetric, bottleneck: f64, latency: f64, hops: u32, seq: u
 /// normally the output of [`emumap_graph::algo::dijkstra`] rooted at the
 /// destination. Only consulted when
 /// [`AStarPruneConfig::use_latency_lower_bound`] is set.
+///
+/// Convenience wrapper over [`astar_prune_with`] that builds a fresh
+/// [`CsrAdjacency`] and [`RouteScratch`] per call; hot paths (the
+/// Networking stage, the parallel runner) hold both in an
+/// [`emumap-core::MapCache`](crate::MapCache) instead.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's Algorithm 1 signature
 pub fn astar_prune(
     phys: &PhysicalTopology,
@@ -151,11 +200,42 @@ pub fn astar_prune(
     ar: &[f64],
     config: &AStarPruneConfig,
 ) -> Option<(Vec<EdgeId>, SearchStats)> {
+    let csr = phys.graph().to_csr();
+    astar_prune_with(
+        phys,
+        residual,
+        origin,
+        destination,
+        demand,
+        latency_bound,
+        ar,
+        config,
+        &csr,
+        &mut RouteScratch::new(),
+    )
+}
+
+/// [`astar_prune`] with caller-owned adjacency snapshot and scratch
+/// buffers — the allocation-free entry point. Identical results to the
+/// wrapper for any scratch state: buffers are cleared on entry, so the
+/// search is a pure function of the other arguments.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's Algorithm 1 signature
+pub fn astar_prune_with(
+    phys: &PhysicalTopology,
+    residual: &ResidualState,
+    origin: NodeId,
+    destination: NodeId,
+    demand: Kbps,
+    latency_bound: Millis,
+    ar: &[f64],
+    config: &AStarPruneConfig,
+    csr: &CsrAdjacency,
+    scratch: &mut RouteScratch,
+) -> Option<(Vec<EdgeId>, SearchStats)> {
     let mut stats = SearchStats::default();
     if origin == destination {
         return Some((Vec::new(), stats));
     }
-    let graph = phys.graph();
     let bound = latency_bound.value();
     let want = demand.value();
 
@@ -165,8 +245,9 @@ pub fn astar_prune(
         return None;
     }
 
-    let mut arena: Vec<PathNode> = vec![PathNode { parent: ROOT, edge: EdgeId::from_index(0), end: origin }];
-    let mut heap: BinaryHeap<Candidate> = BinaryHeap::new();
+    scratch.begin();
+    let RouteScratch { arena, heap, on_path, .. } = scratch;
+    arena.push(PathNode { parent: ROOT, edge: EdgeId::from_index(0), end: origin });
     let mut seq: u64 = 0;
     heap.push(Candidate {
         key: make_key(config.metric, f64::INFINITY, 0.0, 0, seq),
@@ -175,10 +256,6 @@ pub fn astar_prune(
         latency: 0.0,
         hops: 0,
     });
-
-    // Scratch buffer for the on-path check (paths are short — the latency
-    // bound caps hops at bound / min-edge-latency).
-    let mut on_path: Vec<NodeId> = Vec::new();
 
     while let Some(best) = heap.pop() {
         stats.expanded += 1;
@@ -212,7 +289,7 @@ pub fn astar_prune(
             cur = p;
         }
 
-        for nb in graph.neighbors(d) {
+        for &nb in csr.neighbors(d) {
             let h = nb.node;
             if on_path.contains(&h) {
                 continue;
@@ -300,6 +377,57 @@ mod tests {
             &AStarPruneConfig::default(),
         )
         .map(|(p, _)| p)
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_search() {
+        // Run a batch of distinct queries twice: once through the
+        // allocate-per-call wrapper, once through one shared scratch + CSR.
+        // Results must be bit-identical regardless of scratch history.
+        let phys = phys_from_edges(
+            5,
+            &[
+                (0, 1, 500.0, 5.0),
+                (1, 2, 500.0, 5.0),
+                (0, 2, 50.0, 5.0),
+                (2, 3, 300.0, 2.0),
+                (3, 4, 300.0, 2.0),
+                (0, 4, 80.0, 30.0),
+            ],
+        );
+        let residual = ResidualState::new(&phys);
+        let csr = phys.graph().to_csr();
+        let mut scratch = RouteScratch::new();
+        let config = AStarPruneConfig::default();
+        let queries = [(0usize, 2usize, 10.0, 100.0), (0, 4, 10.0, 100.0), (1, 3, 60.0, 50.0), (4, 0, 70.0, 40.0)];
+        for &(from, to, demand, bound) in &queries {
+            let dest = phys.hosts()[to];
+            let ar = ar_for(&phys, dest);
+            let fresh = astar_prune(
+                &phys,
+                &residual,
+                phys.hosts()[from],
+                dest,
+                Kbps(demand),
+                Millis(bound),
+                &ar,
+                &config,
+            );
+            let reused = astar_prune_with(
+                &phys,
+                &residual,
+                phys.hosts()[from],
+                dest,
+                Kbps(demand),
+                Millis(bound),
+                &ar,
+                &config,
+                &csr,
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused);
+        }
+        assert_eq!(scratch.reuses(), queries.len() - 1);
     }
 
     #[test]

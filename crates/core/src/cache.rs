@@ -1,0 +1,238 @@
+//! Reusable per-worker caches for the routing hot paths.
+//!
+//! §5.2 of the paper observes that "most part of mapping time is spend in
+//! the Networking stage to calculate the shortest path of each host to the
+//! link destination". The per-`networking_stage` `HashMap` cache already
+//! collapses that to one Dijkstra per distinct destination *per trial* —
+//! but a benchmark sweep runs hundreds of trials on the *same* topology,
+//! and the `ar[]` tables depend only on link latencies, never on residual
+//! bandwidth or the virtual environment. [`ArTables`] promotes the cache
+//! to topology lifetime: tables survive across trials and are invalidated
+//! only when the topology fingerprint (node count, edge endpoints, latency
+//! bit patterns) changes.
+//!
+//! [`MapCache`] bundles the table cache with the search scratch buffers
+//! ([`RouteScratch`], [`DfsScratch`]) into the one state blob a worker
+//! thread owns. Everything here is a pure cache: any sequence of mapper
+//! calls produces bit-identical results with a fresh cache, a warm cache,
+//! or a cache previously used on a different topology.
+
+use crate::astar_prune::RouteScratch;
+use crate::dfs_routing::DfsScratch;
+use emumap_graph::algo::dijkstra_csr;
+use emumap_graph::{CsrAdjacency, NodeId};
+use emumap_model::PhysicalTopology;
+use std::collections::HashMap;
+
+/// FNV-1a over the topology features the cached tables depend on.
+fn topology_fingerprint(phys: &PhysicalTopology) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let graph = phys.graph();
+    mix(graph.node_count() as u64);
+    for e in graph.edge_ids() {
+        let (a, b) = graph.endpoints(e);
+        mix(a.index() as u64);
+        mix(b.index() as u64);
+        mix(phys.link(e).lat.value().to_bits());
+    }
+    h
+}
+
+/// Topology-lifetime cache of per-destination Dijkstra tables plus the CSR
+/// adjacency snapshot the searches iterate.
+///
+/// Two table families are kept:
+///
+/// * `ar` — latency-to-destination (the admissible `ar[]` lower bound of
+///   the paper's Algorithm 1), used by A\*Prune and the KSP early-exit;
+/// * `hops` — unit-cost hop counts, used to bias the naive DFS router of
+///   the R / RA / HS baselines.
+///
+/// Both depend only on the topology (latencies / connectivity), so they are
+/// keyed by a fingerprint and survive across trials, mappers, and virtual
+/// environments on the same cluster.
+#[derive(Debug, Default)]
+pub struct ArTables {
+    fingerprint: u64,
+    prepared: bool,
+    csr: CsrAdjacency,
+    ar: HashMap<NodeId, Vec<f64>>,
+    hops: HashMap<NodeId, Vec<f64>>,
+    dijkstra_runs: usize,
+    hits: usize,
+}
+
+impl ArTables {
+    /// Empty cache; first [`prepare`](Self::prepare) populates the CSR view.
+    pub fn new() -> Self {
+        ArTables::default()
+    }
+
+    /// Binds the cache to `phys`, rebuilding the CSR snapshot and dropping
+    /// all tables if the topology changed since the last call. Returns
+    /// `true` when the cached tables were kept (same topology).
+    pub fn prepare(&mut self, phys: &PhysicalTopology) -> bool {
+        let fp = topology_fingerprint(phys);
+        if self.prepared && fp == self.fingerprint {
+            return true;
+        }
+        self.fingerprint = fp;
+        self.prepared = true;
+        self.csr = phys.graph().to_csr();
+        self.ar.clear();
+        self.hops.clear();
+        false
+    }
+
+    /// The latency `ar[]` table rooted at `dest` together with the CSR
+    /// snapshot, both under one borrow (callers need them simultaneously
+    /// for [`astar_prune_with`](crate::astar_prune_with)).
+    ///
+    /// Must be called after [`prepare`](Self::prepare) on the same `phys`.
+    pub fn ar_and_csr(&mut self, phys: &PhysicalTopology, dest: NodeId) -> (&[f64], &CsrAdjacency) {
+        debug_assert!(self.prepared, "call ArTables::prepare first");
+        if !self.ar.contains_key(&dest) {
+            self.dijkstra_runs += 1;
+            let table = dijkstra_csr(phys.graph(), &self.csr, dest, |_, link| link.lat.value())
+                .distances()
+                .to_vec();
+            self.ar.insert(dest, table);
+        } else {
+            self.hits += 1;
+        }
+        (self.ar.get(&dest).expect("just inserted"), &self.csr)
+    }
+
+    /// Unit-cost hop-count table rooted at `dest` (the DFS neighbor-order
+    /// bias of the baselines). Same caching discipline as
+    /// [`ar_and_csr`](Self::ar_and_csr).
+    pub fn hops(&mut self, phys: &PhysicalTopology, dest: NodeId) -> &[f64] {
+        debug_assert!(self.prepared, "call ArTables::prepare first");
+        if !self.hops.contains_key(&dest) {
+            self.dijkstra_runs += 1;
+            let table = dijkstra_csr(phys.graph(), &self.csr, dest, |_, _| 1.0)
+                .distances()
+                .to_vec();
+            self.hops.insert(dest, table);
+        } else {
+            self.hits += 1;
+        }
+        self.hops.get(&dest).expect("just inserted")
+    }
+
+    /// The CSR adjacency snapshot of the prepared topology.
+    pub fn csr(&self) -> &CsrAdjacency {
+        &self.csr
+    }
+
+    /// Total Dijkstra runs since construction (both table families).
+    pub fn dijkstra_runs(&self) -> usize {
+        self.dijkstra_runs
+    }
+
+    /// Table lookups answered from cache since construction.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+}
+
+/// Everything a worker reuses across mapper calls: topology tables plus
+/// the A\*Prune and DFS scratch buffers.
+///
+/// Pass one per thread to [`Mapper::map_with_cache`](crate::Mapper::
+/// map_with_cache); results are identical to the cache-free
+/// [`Mapper::map`](crate::Mapper::map) for any cache history.
+#[derive(Debug, Default)]
+pub struct MapCache {
+    /// Cross-trial Dijkstra tables + CSR adjacency.
+    pub topo: ArTables,
+    /// A\*Prune arena/heap/on-path buffers.
+    pub scratch: RouteScratch,
+    /// Naive-DFS stack and visited buffers.
+    pub dfs: DfsScratch,
+}
+
+impl MapCache {
+    /// Fresh, cold cache.
+    pub fn new() -> Self {
+        MapCache::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emumap_graph::generators;
+    use emumap_model::{HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, StorGb, VmmOverhead};
+
+    fn phys_line(n: usize, lat: f64) -> PhysicalTopology {
+        PhysicalTopology::from_shape(
+            &generators::line(n),
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(4096), StorGb(1000.0))),
+            LinkSpec::new(Kbps(1000.0), Millis(lat)),
+            VmmOverhead::NONE,
+        )
+    }
+
+    #[test]
+    fn tables_survive_repeated_prepare_on_same_topology() {
+        let phys = phys_line(4, 5.0);
+        let mut t = ArTables::new();
+        assert!(!t.prepare(&phys), "first prepare is a rebuild");
+        let dest = phys.hosts()[3];
+        let (ar, _) = t.ar_and_csr(&phys, dest);
+        assert_eq!(ar[phys.hosts()[0].index()], 15.0);
+        assert_eq!(t.dijkstra_runs(), 1);
+
+        assert!(t.prepare(&phys), "same topology keeps tables");
+        let _ = t.ar_and_csr(&phys, dest);
+        assert_eq!(t.dijkstra_runs(), 1, "second lookup is a hit");
+        assert_eq!(t.hits(), 1);
+    }
+
+    #[test]
+    fn topology_change_invalidates_tables() {
+        let a = phys_line(4, 5.0);
+        let b = phys_line(4, 7.0); // same shape, different latencies
+        let mut t = ArTables::new();
+        t.prepare(&a);
+        let (ar, _) = t.ar_and_csr(&a, a.hosts()[3]);
+        assert_eq!(ar[a.hosts()[0].index()], 15.0);
+        assert!(!t.prepare(&b), "latency change must rebuild");
+        let (ar, _) = t.ar_and_csr(&b, b.hosts()[3]);
+        assert_eq!(ar[b.hosts()[0].index()], 21.0);
+    }
+
+    #[test]
+    fn hop_tables_use_unit_costs() {
+        let phys = phys_line(5, 3.0);
+        let mut t = ArTables::new();
+        t.prepare(&phys);
+        let hops = t.hops(&phys, phys.hosts()[4]);
+        assert_eq!(hops[phys.hosts()[0].index()], 4.0);
+        assert_eq!(hops[phys.hosts()[4].index()], 0.0);
+    }
+
+    #[test]
+    fn ar_and_hops_are_cached_independently() {
+        let phys = phys_line(3, 5.0);
+        let mut t = ArTables::new();
+        t.prepare(&phys);
+        let dest = phys.hosts()[2];
+        let _ = t.ar_and_csr(&phys, dest);
+        let _ = t.hops(&phys, dest);
+        assert_eq!(t.dijkstra_runs(), 2, "latency and hop tables are distinct");
+        let _ = t.ar_and_csr(&phys, dest);
+        let _ = t.hops(&phys, dest);
+        assert_eq!(t.dijkstra_runs(), 2);
+        assert_eq!(t.hits(), 2);
+    }
+}

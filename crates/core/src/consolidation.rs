@@ -152,10 +152,14 @@ impl Mapper for ConsolidatingHmn {
             routed_links: net.routed_links,
             intra_host_links: net.intra_host_links,
             astar_expansions: net.search.expanded,
+            astar_pushed: net.search.pushed,
+            dijkstra_runs: net.dijkstra_runs,
+            ar_cache_hits: net.ar_cache_hits,
             placement_time,
             migration_time,
             networking_time,
             total_time: start.elapsed(),
+            ..Default::default()
         };
         let mapping = Mapping::new(state.into_placement(), routes);
         Ok(MapOutcome::new(phys, venv, mapping, stats))

@@ -49,6 +49,65 @@ pub fn hop_distances(phys: &PhysicalTopology, destination: NodeId) -> Vec<f64> {
         .to_vec()
 }
 
+/// One level of the DFS stack: a node plus its (shuffled, possibly
+/// distance-sorted) neighbor list and a cursor into it.
+#[derive(Debug)]
+struct Frame {
+    node: NodeId,
+    neighbors: Vec<(NodeId, EdgeId)>,
+    next: usize,
+}
+
+/// Reusable buffers for [`naive_dfs_route_with`]: the visited bitmap, the
+/// frame stack, and a pool of recycled neighbor lists.
+///
+/// The per-call cost of the baseline router is dominated by one neighbor
+/// `Vec` allocation per expanded node; the pool hands frames their list
+/// back from earlier searches instead. Purely an allocation cache — the
+/// search consumes the RNG and visits nodes in exactly the same order as
+/// the scratch-free wrapper, so results are bit-identical.
+#[derive(Debug, Default)]
+pub struct DfsScratch {
+    on_path: Vec<bool>,
+    frames: Vec<Frame>,
+    spare: Vec<Vec<(NodeId, EdgeId)>>,
+    warm: bool,
+    reuses: usize,
+}
+
+impl DfsScratch {
+    /// Fresh, cold scratch.
+    pub fn new() -> Self {
+        DfsScratch::default()
+    }
+
+    /// Searches that ran on already-warm buffers (every use after the
+    /// first). Surfaced in `MapStats::scratch_reuses`.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+
+    /// Resets the visited bitmap for an `n`-node graph and recycles any
+    /// leftover frames into the spare pool.
+    fn begin(&mut self, n: usize) {
+        if self.warm {
+            self.reuses += 1;
+        }
+        self.warm = true;
+        self.on_path.clear();
+        self.on_path.resize(n, false);
+        for mut f in self.frames.drain(..) {
+            f.neighbors.clear();
+            self.spare.push(f.neighbors);
+        }
+    }
+
+    /// An empty neighbor buffer, reusing a pooled one when available.
+    fn neighbor_buf(&mut self) -> Vec<(NodeId, EdgeId)> {
+        self.spare.pop().unwrap_or_default()
+    }
+}
+
 /// Finds a simple path from `origin` to `destination` whose edges all have
 /// residual bandwidth `>= demand`, walking depth-first with the bias
 /// described in the module docs. The completed path is accepted only if
@@ -57,6 +116,9 @@ pub fn hop_distances(phys: &PhysicalTopology, destination: NodeId) -> Vec<f64> {
 /// defining weakness versus A\*Prune.
 ///
 /// `hops_to_dest` must come from [`hop_distances`] for this destination.
+///
+/// Convenience wrapper over [`naive_dfs_route_with`] allocating a fresh
+/// [`DfsScratch`] per call.
 #[allow(clippy::too_many_arguments)] // mirrors the astar_prune signature
 pub fn naive_dfs_route(
     phys: &PhysicalTopology,
@@ -68,47 +130,68 @@ pub fn naive_dfs_route(
     hops_to_dest: &[f64],
     rng: &mut dyn RngCore,
 ) -> Option<Vec<EdgeId>> {
+    naive_dfs_route_with(
+        phys,
+        residual,
+        origin,
+        destination,
+        demand,
+        latency_bound,
+        hops_to_dest,
+        rng,
+        &mut DfsScratch::new(),
+    )
+}
+
+/// [`naive_dfs_route`] with caller-owned scratch buffers — the
+/// allocation-free entry point. Bit-identical results (and RNG
+/// consumption) for any scratch history.
+#[allow(clippy::too_many_arguments)] // mirrors the astar_prune signature
+pub fn naive_dfs_route_with(
+    phys: &PhysicalTopology,
+    residual: &ResidualState,
+    origin: NodeId,
+    destination: NodeId,
+    demand: Kbps,
+    latency_bound: Millis,
+    hops_to_dest: &[f64],
+    rng: &mut dyn RngCore,
+    scratch: &mut DfsScratch,
+) -> Option<Vec<EdgeId>> {
     if origin == destination {
         return Some(Vec::new());
     }
     let graph = phys.graph();
     let want = demand.value();
+    scratch.begin(graph.node_count());
 
-    struct Frame {
-        node: NodeId,
-        neighbors: Vec<(NodeId, EdgeId)>,
-        next: usize,
-    }
+    let fill_neighbors =
+        |buf: &mut Vec<(NodeId, EdgeId)>, node: NodeId, rng: &mut dyn RngCore| {
+            buf.clear();
+            buf.extend(graph.neighbors(node).map(|nb| (nb.node, nb.edge)));
+            buf.shuffle(rng); // random tie-breaking baseline order
+            if rng.gen::<f64>() >= WANDER_PROBABILITY {
+                // Mostly: head toward the destination (stable sort keeps the
+                // shuffled order within equal distances).
+                buf.sort_by(|a, b| {
+                    hops_to_dest[a.0.index()].total_cmp(&hops_to_dest[b.0.index()])
+                });
+            }
+        };
 
-    let ordered_neighbors = |node: NodeId, rng: &mut dyn RngCore| {
-        let mut n: Vec<(NodeId, EdgeId)> =
-            graph.neighbors(node).map(|nb| (nb.node, nb.edge)).collect();
-        n.shuffle(rng); // random tie-breaking baseline order
-        if rng.gen::<f64>() >= WANDER_PROBABILITY {
-            // Mostly: head toward the destination (stable sort keeps the
-            // shuffled order within equal distances).
-            n.sort_by(|a, b| {
-                hops_to_dest[a.0.index()].total_cmp(&hops_to_dest[b.0.index()])
-            });
-        }
-        n
-    };
-
-    let mut on_path = vec![false; graph.node_count()];
-    on_path[origin.index()] = true;
+    scratch.on_path[origin.index()] = true;
     let mut edges: Vec<EdgeId> = Vec::new();
-    let mut frames = vec![Frame {
-        node: origin,
-        neighbors: ordered_neighbors(origin, rng),
-        next: 0,
-    }];
+    let mut root = scratch.neighbor_buf();
+    fill_neighbors(&mut root, origin, rng);
+    scratch.frames.push(Frame { node: origin, neighbors: root, next: 0 });
 
-    while let Some(frame) = frames.last_mut() {
+    while let Some(frame) = scratch.frames.last_mut() {
+        let mut pushed: Option<NodeId> = None;
         let mut advanced = false;
         while frame.next < frame.neighbors.len() {
             let (node, edge) = frame.neighbors[frame.next];
             frame.next += 1;
-            if on_path[node.index()] {
+            if scratch.on_path[node.index()] {
                 continue;
             }
             if residual.bw(edge).value() < want {
@@ -124,19 +207,22 @@ pub fn naive_dfs_route(
                 }
                 return None;
             }
-            on_path[node.index()] = true;
-            frames.push(Frame {
-                node,
-                neighbors: ordered_neighbors(node, rng),
-                next: 0,
-            });
+            pushed = Some(node);
             advanced = true;
             break;
         }
-        if !advanced {
-            let done = frames.pop().expect("frame exists");
-            on_path[done.node.index()] = false;
+        if advanced {
+            let node = pushed.expect("advanced implies a pushed node");
+            scratch.on_path[node.index()] = true;
+            let mut buf = scratch.neighbor_buf();
+            fill_neighbors(&mut buf, node, rng);
+            scratch.frames.push(Frame { node, neighbors: buf, next: 0 });
+        } else {
+            let mut done = scratch.frames.pop().expect("frame exists");
+            scratch.on_path[done.node.index()] = false;
             edges.pop();
+            done.neighbors.clear();
+            scratch.spare.push(done.neighbors);
         }
     }
     None
@@ -172,6 +258,33 @@ mod tests {
         let hops = hop_distances(p, dst);
         let mut rng = SmallRng::seed_from_u64(seed);
         naive_dfs_route(p, r, p.hosts()[from], dst, Kbps(demand), Millis(bound), &hops, &mut rng)
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_search() {
+        // The scratch is an allocation cache only: identical RNG
+        // consumption and identical paths whatever its history.
+        let p = phys(&generators::torus2d(4, 4), 1000.0);
+        let r = ResidualState::new(&p);
+        let mut scratch = DfsScratch::new();
+        for seed in 0..40u64 {
+            let from = (seed as usize * 5) % 16;
+            let to = (seed as usize * 11 + 3) % 16;
+            let dst = p.hosts()[to];
+            let hops = hop_distances(&p, dst);
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let fresh = naive_dfs_route(
+                &p, &r, p.hosts()[from], dst, Kbps(10.0), Millis(60.0), &hops, &mut rng_a,
+            );
+            let reused = naive_dfs_route_with(
+                &p, &r, p.hosts()[from], dst, Kbps(10.0), Millis(60.0), &hops, &mut rng_b,
+                &mut scratch,
+            );
+            assert_eq!(fresh, reused, "seed {seed}");
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "seed {seed}: RNG streams diverged");
+        }
+        assert!(scratch.reuses() > 0);
     }
 
     #[test]

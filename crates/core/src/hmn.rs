@@ -12,11 +12,12 @@
 //! pruning); the default is exactly the paper's algorithm.
 
 use crate::astar_prune::{AStarPruneConfig, PathMetric};
+use crate::cache::MapCache;
 use crate::error::MapError;
 use crate::hosting::{hosting_stage_with, links_by_descending_bw, HostingPolicy};
 use crate::mapper::{MapOutcome, MapStats, Mapper};
 use crate::migration::{migration_stage, migration_stage_exhaustive, MigrationPolicy};
-use crate::networking::networking_stage;
+use crate::networking::networking_stage_with;
 use crate::state::PlacementState;
 use emumap_model::{Mapping, PhysicalTopology, VLinkId, VirtualEnvironment};
 use rand::seq::SliceRandom;
@@ -129,6 +130,16 @@ impl Mapper for Hmn {
         venv: &VirtualEnvironment,
         rng: &mut dyn RngCore,
     ) -> Result<MapOutcome, MapError> {
+        self.map_with_cache(phys, venv, rng, &mut MapCache::new())
+    }
+
+    fn map_with_cache(
+        &self,
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
+        rng: &mut dyn RngCore,
+        cache: &mut MapCache,
+    ) -> Result<MapOutcome, MapError> {
         let start = Instant::now();
         let mut stats = MapStats { attempts: 1, ..Default::default() };
         let links = self.ordered_links(venv, rng);
@@ -153,11 +164,16 @@ impl Mapper for Hmn {
 
         // Stage 3: Networking.
         let t = Instant::now();
-        let (routes, net) = networking_stage(&mut state, &links, &self.config.astar())?;
+        let reuses_before = cache.scratch.reuses();
+        let (routes, net) = networking_stage_with(&mut state, &links, &self.config.astar(), cache)?;
         stats.networking_time = t.elapsed();
         stats.routed_links = net.routed_links;
         stats.intra_host_links = net.intra_host_links;
         stats.astar_expansions = net.search.expanded;
+        stats.astar_pushed = net.search.pushed;
+        stats.dijkstra_runs = net.dijkstra_runs;
+        stats.ar_cache_hits = net.ar_cache_hits;
+        stats.scratch_reuses = cache.scratch.reuses() - reuses_before;
 
         let mapping = Mapping::new(state.into_placement(), routes);
         stats.total_time = start.elapsed();

@@ -12,6 +12,7 @@
 //! tests; the strategy is provided for cross-framework comparison and as
 //! another member for the §6 heuristic pool.
 
+use crate::cache::MapCache;
 use crate::error::MapError;
 use crate::hosting::{hosting_stage, links_by_descending_bw};
 use crate::mapper::{MapOutcome, MapStats, Mapper};
@@ -31,12 +32,33 @@ pub fn networking_stage_ksp(
     links: &[VLinkId],
     k: usize,
 ) -> Result<(Vec<Route>, NetworkingStats), MapError> {
+    networking_stage_ksp_with(state, links, k, &mut MapCache::new())
+}
+
+/// [`networking_stage_ksp`] with a caller-owned [`MapCache`].
+///
+/// The cache contributes its `ar[]` latency tables as an early-exit: the
+/// Dijkstra distance is the minimum latency over *all* paths, so when it
+/// already exceeds the link's bound no candidate from Yen's enumeration
+/// can pass the `p.cost <= bound` filter and the (expensive) enumeration
+/// is skipped. The accept/reject outcome per link is unchanged.
+pub fn networking_stage_ksp_with(
+    state: &mut PlacementState<'_>,
+    links: &[VLinkId],
+    k: usize,
+    cache: &mut MapCache,
+) -> Result<(Vec<Route>, NetworkingStats), MapError> {
     assert!(state.is_complete(), "networking requires a complete assignment");
     assert!(k >= 1, "k must be at least 1");
     let venv = state.venv();
     let phys = state.phys();
     let mut routes = vec![Route::intra_host(); venv.link_count()];
     let mut stats = NetworkingStats::default();
+
+    let topo = &mut cache.topo;
+    topo.prepare(phys);
+    let runs_before = topo.dijkstra_runs();
+    let hits_before = topo.hits();
 
     for &l in links {
         let (vs, vd) = venv.link_endpoints(l);
@@ -47,6 +69,10 @@ pub fn networking_stage_ksp(
             continue;
         }
         let spec = *venv.link(l);
+        let (ar, _) = topo.ar_and_csr(phys, hd);
+        if ar[hs.index()] > spec.lat.value() + 1e-9 {
+            return Err(MapError::NetworkingFailed { link: l });
+        }
         // Note: candidate paths are recomputed per link on the *static*
         // latency metric; feasibility is then checked against the current
         // residuals, so commitments by earlier links are respected.
@@ -62,6 +88,9 @@ pub fn networking_stage_ksp(
         routes[l.index()] = Route::new(path.edges);
         stats.routed_links += 1;
     }
+
+    stats.dijkstra_runs = topo.dijkstra_runs() - runs_before;
+    stats.ar_cache_hits = topo.hits() - hits_before;
     Ok((routes, stats))
 }
 
@@ -88,7 +117,17 @@ impl Mapper for HmnKsp {
         &self,
         phys: &PhysicalTopology,
         venv: &VirtualEnvironment,
+        rng: &mut dyn RngCore,
+    ) -> Result<MapOutcome, MapError> {
+        self.map_with_cache(phys, venv, rng, &mut MapCache::new())
+    }
+
+    fn map_with_cache(
+        &self,
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
         _rng: &mut dyn RngCore,
+        cache: &mut MapCache,
     ) -> Result<MapOutcome, MapError> {
         let start = Instant::now();
         let links = links_by_descending_bw(venv);
@@ -101,12 +140,14 @@ impl Mapper for HmnKsp {
         let migration = migration_stage(&mut state);
         let migration_time = t.elapsed();
         let t = Instant::now();
-        let (routes, net) = networking_stage_ksp(&mut state, &links, self.k)?;
+        let (routes, net) = networking_stage_ksp_with(&mut state, &links, self.k, cache)?;
         let stats = MapStats {
             attempts: 1,
             migrations: migration.migrations,
             routed_links: net.routed_links,
             intra_host_links: net.intra_host_links,
+            dijkstra_runs: net.dijkstra_runs,
+            ar_cache_hits: net.ar_cache_hits,
             placement_time,
             migration_time,
             networking_time: t.elapsed(),

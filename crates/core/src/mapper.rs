@@ -1,5 +1,6 @@
 //! The common mapper interface and its outcome/statistics types.
 
+use crate::cache::MapCache;
 use crate::error::MapError;
 use emumap_model::{
     objective::mapping_objective, Mapping, PhysicalTopology, VirtualEnvironment,
@@ -21,6 +22,16 @@ pub struct MapStats {
     pub intra_host_links: usize,
     /// A\*Prune partial paths expanded (0 for DFS routing).
     pub astar_expansions: usize,
+    /// A\*Prune candidates pushed onto the heap (0 for DFS routing).
+    pub astar_pushed: usize,
+    /// Dijkstra table computations (latency `ar[]` plus hop-count tables).
+    pub dijkstra_runs: usize,
+    /// Table lookups answered by a warm cache instead of a Dijkstra run.
+    pub ar_cache_hits: usize,
+    /// Distinct hop-count tables computed for DFS routing bias.
+    pub hop_tables: usize,
+    /// Route searches that ran on warm (reused) scratch buffers.
+    pub scratch_reuses: usize,
     /// Wall-clock spent in placement (Hosting or random placement).
     pub placement_time: Duration,
     /// Wall-clock spent in the Migration stage.
@@ -76,6 +87,25 @@ pub trait Mapper {
         venv: &VirtualEnvironment,
         rng: &mut dyn RngCore,
     ) -> Result<MapOutcome, MapError>;
+
+    /// [`map`](Self::map) with a caller-owned [`MapCache`] of reusable
+    /// topology tables and scratch buffers.
+    ///
+    /// The cache is strictly an accelerator: implementations must return
+    /// bit-identical outcomes (mapping, routes, objective) for any cache
+    /// history, so batch harnesses can keep one warm cache per worker
+    /// thread. The default ignores the cache and delegates to `map`;
+    /// mappers with cacheable hot paths override it.
+    fn map_with_cache(
+        &self,
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
+        rng: &mut dyn RngCore,
+        cache: &mut MapCache,
+    ) -> Result<MapOutcome, MapError> {
+        let _ = cache;
+        self.map(phys, venv, rng)
+    }
 }
 
 #[cfg(test)]

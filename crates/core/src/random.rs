@@ -25,11 +25,12 @@
 //! `100_000` to reproduce the paper's bound literally.
 
 use crate::astar_prune::AStarPruneConfig;
-use crate::dfs_routing::naive_dfs_route;
+use crate::cache::MapCache;
+use crate::dfs_routing::naive_dfs_route_with;
 use crate::error::MapError;
 use crate::hosting::{hosting_stage, links_by_descending_bw};
 use crate::mapper::{MapOutcome, MapStats, Mapper};
-use crate::networking::networking_stage;
+use crate::networking::networking_stage_with;
 use crate::state::PlacementState;
 use emumap_graph::NodeId;
 use emumap_model::{Mapping, PhysicalTopology, Route, VirtualEnvironment};
@@ -65,21 +66,26 @@ fn random_placement(
 /// Routes every link with the naive DFS, committing bandwidth. Links are
 /// processed in a random order (the baseline has no ordering insight).
 /// On failure, all committed routes are released so the state can be
-/// reused. Hop-distance tables are cached per destination across the
-/// whole routing pass (mirroring the Networking stage's `ar[]` cache).
+/// reused. Hop-distance tables come from the shared [`MapCache`]
+/// (mirroring the Networking stage's `ar[]` cache), so they survive not
+/// only the routing pass but every retry attempt and every later trial on
+/// the same topology. Dijkstra consumes no randomness, so the caching is
+/// invisible to the RNG stream and the mapped outcomes.
 fn dfs_routing(
     state: &mut PlacementState<'_>,
     rng: &mut dyn RngCore,
+    cache: &mut MapCache,
 ) -> Result<(Vec<Route>, usize, usize), MapError> {
     let venv = state.venv();
+    let phys = state.phys();
     let mut order: Vec<_> = venv.link_ids().collect();
     order.shuffle(rng);
     let mut routes = vec![Route::intra_host(); venv.link_count()];
     let mut committed: Vec<(Vec<emumap_graph::EdgeId>, emumap_model::Kbps)> = Vec::new();
     let mut routed = 0;
     let mut intra = 0;
-    let mut hop_cache: std::collections::HashMap<emumap_graph::NodeId, Vec<f64>> =
-        std::collections::HashMap::new();
+    let MapCache { topo, dfs, .. } = cache;
+    topo.prepare(phys);
 
     for l in order {
         let (vs, vd) = venv.link_endpoints(l);
@@ -90,11 +96,9 @@ fn dfs_routing(
             continue;
         }
         let spec = *venv.link(l);
-        let hops = hop_cache
-            .entry(hd)
-            .or_insert_with(|| crate::dfs_routing::hop_distances(state.phys(), hd));
-        match naive_dfs_route(
-            state.phys(),
+        let hops = topo.hops(phys, hd);
+        match naive_dfs_route_with(
+            phys,
             state.residual(),
             hs,
             hd,
@@ -102,6 +106,7 @@ fn dfs_routing(
             spec.lat,
             hops,
             rng,
+            dfs,
         ) {
             Some(edges) => {
                 state.residual_mut().commit_route(&edges, spec.bw);
@@ -144,7 +149,20 @@ impl Mapper for RandomDfs {
         venv: &VirtualEnvironment,
         rng: &mut dyn RngCore,
     ) -> Result<MapOutcome, MapError> {
+        self.map_with_cache(phys, venv, rng, &mut MapCache::new())
+    }
+
+    fn map_with_cache(
+        &self,
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
+        rng: &mut dyn RngCore,
+        cache: &mut MapCache,
+    ) -> Result<MapOutcome, MapError> {
         let start = Instant::now();
+        let runs_before = cache.topo.dijkstra_runs();
+        let hits_before = cache.topo.hits();
+        let reuses_before = cache.dfs.reuses();
         let mut state = PlacementState::new(phys, venv);
         for attempt in 1..=self.max_attempts {
             state.reset();
@@ -154,12 +172,15 @@ impl Mapper for RandomDfs {
             }
             let placement_time = t_place.elapsed();
             let t_route = Instant::now();
-            match dfs_routing(&mut state, rng) {
+            match dfs_routing(&mut state, rng, cache) {
                 Ok((routes, routed, intra)) => {
                     let stats = MapStats {
                         attempts: attempt,
                         routed_links: routed,
                         intra_host_links: intra,
+                        hop_tables: cache.topo.dijkstra_runs() - runs_before,
+                        ar_cache_hits: cache.topo.hits() - hits_before,
+                        scratch_reuses: cache.dfs.reuses() - reuses_before,
                         placement_time,
                         networking_time: t_route.elapsed(),
                         total_time: start.elapsed(),
@@ -204,7 +225,20 @@ impl Mapper for RandomAStar {
         venv: &VirtualEnvironment,
         rng: &mut dyn RngCore,
     ) -> Result<MapOutcome, MapError> {
+        self.map_with_cache(phys, venv, rng, &mut MapCache::new())
+    }
+
+    fn map_with_cache(
+        &self,
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
+        rng: &mut dyn RngCore,
+        cache: &mut MapCache,
+    ) -> Result<MapOutcome, MapError> {
         let start = Instant::now();
+        let runs_before = cache.topo.dijkstra_runs();
+        let hits_before = cache.topo.hits();
+        let reuses_before = cache.scratch.reuses();
         let links = links_by_descending_bw(venv);
         let mut state = PlacementState::new(phys, venv);
         for attempt in 1..=self.max_attempts {
@@ -215,13 +249,17 @@ impl Mapper for RandomAStar {
             }
             let placement_time = t_place.elapsed();
             let t_route = Instant::now();
-            match networking_stage(&mut state, &links, &self.astar) {
+            match networking_stage_with(&mut state, &links, &self.astar, cache) {
                 Ok((routes, net)) => {
                     let stats = MapStats {
                         attempts: attempt,
                         routed_links: net.routed_links,
                         intra_host_links: net.intra_host_links,
                         astar_expansions: net.search.expanded,
+                        astar_pushed: net.search.pushed,
+                        dijkstra_runs: cache.topo.dijkstra_runs() - runs_before,
+                        ar_cache_hits: cache.topo.hits() - hits_before,
+                        scratch_reuses: cache.scratch.reuses() - reuses_before,
                         placement_time,
                         networking_time: t_route.elapsed(),
                         total_time: start.elapsed(),
@@ -261,7 +299,20 @@ impl Mapper for HostingDfs {
         venv: &VirtualEnvironment,
         rng: &mut dyn RngCore,
     ) -> Result<MapOutcome, MapError> {
+        self.map_with_cache(phys, venv, rng, &mut MapCache::new())
+    }
+
+    fn map_with_cache(
+        &self,
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
+        rng: &mut dyn RngCore,
+        cache: &mut MapCache,
+    ) -> Result<MapOutcome, MapError> {
         let start = Instant::now();
+        let runs_before = cache.topo.dijkstra_runs();
+        let hits_before = cache.topo.hits();
+        let reuses_before = cache.dfs.reuses();
         let links = links_by_descending_bw(venv);
         let mut state = PlacementState::new(phys, venv);
         let t_place = Instant::now();
@@ -270,12 +321,15 @@ impl Mapper for HostingDfs {
 
         let t_route = Instant::now();
         for attempt in 1..=self.max_attempts {
-            match dfs_routing(&mut state, rng) {
+            match dfs_routing(&mut state, rng, cache) {
                 Ok((routes, routed, intra)) => {
                     let stats = MapStats {
                         attempts: attempt,
                         routed_links: routed,
                         intra_host_links: intra,
+                        hop_tables: cache.topo.dijkstra_runs() - runs_before,
+                        ar_cache_hits: cache.topo.hits() - hits_before,
+                        scratch_reuses: cache.dfs.reuses() - reuses_before,
                         placement_time,
                         networking_time: t_route.elapsed(),
                         total_time: start.elapsed(),
@@ -365,6 +419,32 @@ mod tests {
         let a = m.map(&p, &v, &mut SmallRng::seed_from_u64(3)).unwrap();
         let b = m.map(&p, &v, &mut SmallRng::seed_from_u64(3)).unwrap();
         assert_eq!(a.mapping, b.mapping);
+    }
+
+    #[test]
+    fn warm_cache_reproduces_cold_outcomes_for_all_baselines() {
+        // The cache must be invisible: same seed, same mapping, whether the
+        // caches/scratch are cold, warm from the same trial, or warm from a
+        // different mapper's trials.
+        let p = phys();
+        let v = venv(10);
+        let mut cache = MapCache::new();
+        let mappers: Vec<Box<dyn Mapper>> = vec![
+            Box::new(RandomDfs::default()),
+            Box::new(RandomAStar::default()),
+            Box::new(HostingDfs::default()),
+        ];
+        for m in &mappers {
+            let cold = m.map(&p, &v, &mut SmallRng::seed_from_u64(7)).unwrap();
+            for round in 0..2 {
+                let warm = m
+                    .map_with_cache(&p, &v, &mut SmallRng::seed_from_u64(7), &mut cache)
+                    .unwrap();
+                assert_eq!(cold.mapping, warm.mapping, "{} round {round}", m.name());
+                assert_eq!(cold.objective.to_bits(), warm.objective.to_bits());
+            }
+        }
+        assert!(cache.topo.hits() > 0, "second rounds must hit the shared tables");
     }
 
     #[test]

@@ -50,6 +50,44 @@ impl<'g, E> EdgeRef<'g, E> {
     }
 }
 
+/// A compact, cache-friendly snapshot of a graph's adjacency in CSR
+/// (compressed sparse row) form: every `(neighbor, edge)` pair lives in one
+/// contiguous array, with per-node offsets into it.
+///
+/// [`Graph`]'s native adjacency is a `Vec<Vec<_>>` — one heap allocation
+/// per node, scattered across the heap. Hot search loops (A\*Prune,
+/// Dijkstra) iterate neighbor lists millions of times per mapping, so the
+/// CSR view is built once per topology and handed to them: neighbor
+/// iteration becomes a contiguous slice scan with no pointer chasing.
+///
+/// The snapshot is immutable; edges added to the graph afterwards are not
+/// reflected. Callers that cache a `CsrAdjacency` across calls guard it
+/// with a topology fingerprint (see `emumap-core`'s `ArTables`).
+#[derive(Clone, Debug, Default)]
+pub struct CsrAdjacency {
+    /// `offsets[v]..offsets[v + 1]` indexes `neighbors` for node `v`;
+    /// length `node_count + 1`.
+    offsets: Vec<u32>,
+    /// All adjacency entries, grouped by node in id order.
+    neighbors: Vec<NeighborRef>,
+}
+
+impl CsrAdjacency {
+    /// Number of nodes the snapshot covers.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Neighbors of `node` as a contiguous slice, in the same order
+    /// [`Graph::neighbors`] yields them.
+    #[inline]
+    pub fn neighbors(&self, node: NodeId) -> &[NeighborRef] {
+        let i = node.index();
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
 /// An undirected multigraph with dense integer node/edge ids.
 ///
 /// * Nodes carry a payload `N`, edges a payload `E`.
@@ -256,6 +294,20 @@ impl<N, E> Graph<N, E> {
         }
     }
 
+    /// Builds a [`CsrAdjacency`] snapshot of the current adjacency.
+    /// O(V + E); neighbor order matches [`Graph::neighbors`].
+    pub fn to_csr(&self) -> CsrAdjacency {
+        let total: usize = self.adjacency.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(self.nodes.len() + 1);
+        let mut neighbors = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for adj in &self.adjacency {
+            neighbors.extend(adj.iter().map(|&(n, e)| NeighborRef { node: n, edge: e }));
+            offsets.push(u32::try_from(neighbors.len()).expect("adjacency fits in u32"));
+        }
+        CsrAdjacency { offsets, neighbors }
+    }
+
     /// Sum of edge-payload projections; convenience for capacity audits.
     pub fn total_edge_weight<F>(&self, mut f: F) -> f64
     where
@@ -379,6 +431,36 @@ mod tests {
         assert_eq!(g.edge_ids().count(), 3);
         assert_eq!(g.nodes().count(), 3);
         assert_eq!(g.edges().count(), 3);
+    }
+
+    #[test]
+    fn csr_matches_native_adjacency() {
+        let (g, ids, _) = triangle();
+        let csr = g.to_csr();
+        assert_eq!(csr.node_count(), 3);
+        for &v in &ids {
+            let native: Vec<_> = g.neighbors(v).collect();
+            assert_eq!(csr.neighbors(v), native.as_slice());
+        }
+    }
+
+    #[test]
+    fn csr_handles_isolated_nodes_and_self_loops() {
+        let mut g: Graph<(), ()> = Graph::new();
+        let a = g.add_node(());
+        let b = g.add_node(()); // isolated
+        g.add_edge(a, a, ());
+        let csr = g.to_csr();
+        assert_eq!(csr.neighbors(a).len(), 1);
+        assert_eq!(csr.neighbors(a)[0].node, a);
+        assert!(csr.neighbors(b).is_empty());
+    }
+
+    #[test]
+    fn csr_of_empty_graph() {
+        let g: Graph<(), ()> = Graph::new();
+        let csr = g.to_csr();
+        assert_eq!(csr.node_count(), 0);
     }
 
     #[test]

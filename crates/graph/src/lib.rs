@@ -44,5 +44,5 @@ mod graph;
 mod ids;
 
 pub use dot::{to_dot, DotOptions};
-pub use graph::{EdgeRef, Graph, NeighborRef};
+pub use graph::{CsrAdjacency, EdgeRef, Graph, NeighborRef};
 pub use ids::{EdgeId, NodeId};

@@ -237,14 +237,9 @@ fn format_time(seconds: f64) -> String {
 }
 
 /// The top-level benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     results: Vec<(String, SampleSummary)>,
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { results: Vec::new() }
-    }
 }
 
 impl Criterion {
