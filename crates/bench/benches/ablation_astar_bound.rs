@@ -10,7 +10,11 @@ use rand::SeedableRng;
 
 fn bench_astar_bound(c: &mut Criterion) {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 5.0,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
 
     let with = Hmn::new();
@@ -19,7 +23,10 @@ fn bench_astar_bound(c: &mut Criterion) {
         ..Default::default()
     });
 
-    for (name, mapper) in [("with lower bound", &with), ("without lower bound", &without)] {
+    for (name, mapper) in [
+        ("with lower bound", &with),
+        ("without lower bound", &without),
+    ] {
         let mut rng = SmallRng::seed_from_u64(1);
         match mapper.map(&inst.phys, &inst.venv, &mut rng) {
             Ok(out) => eprintln!(

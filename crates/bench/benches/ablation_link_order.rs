@@ -10,7 +10,11 @@ use rand::SeedableRng;
 
 fn bench_link_order(c: &mut Criterion) {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 5.0,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
 
     let orders = [
@@ -20,7 +24,10 @@ fn bench_link_order(c: &mut Criterion) {
     ];
 
     for (name, order) in orders {
-        let mapper = Hmn::with_config(HmnConfig { link_order: order, ..Default::default() });
+        let mapper = Hmn::with_config(HmnConfig {
+            link_order: order,
+            ..Default::default()
+        });
         let mut rng = SmallRng::seed_from_u64(1);
         match mapper.map(&inst.phys, &inst.venv, &mut rng) {
             Ok(out) => eprintln!(
@@ -37,10 +44,16 @@ fn bench_link_order(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     for (name, order) in orders {
         group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
-            let mapper = Hmn::with_config(HmnConfig { link_order: order, ..Default::default() });
+            let mapper = Hmn::with_config(HmnConfig {
+                link_order: order,
+                ..Default::default()
+            });
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                mapper.map(&inst.phys, &inst.venv, &mut rng).map(|o| o.objective).ok()
+                mapper
+                    .map(&inst.phys, &inst.venv, &mut rng)
+                    .map(|o| o.objective)
+                    .ok()
             })
         });
     }

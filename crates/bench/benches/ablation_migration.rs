@@ -12,15 +12,24 @@ use rand::SeedableRng;
 fn bench_migration_ablation(c: &mut Criterion) {
     let cluster = ClusterSpec::paper();
     let with = Hmn::new();
-    let without = Hmn::with_config(HmnConfig { migration: MigrationPolicy::Off, ..Default::default() });
-    let exhaustive =
-        Hmn::with_config(HmnConfig { migration: MigrationPolicy::Exhaustive, ..Default::default() });
+    let without = Hmn::with_config(HmnConfig {
+        migration: MigrationPolicy::Off,
+        ..Default::default()
+    });
+    let exhaustive = Hmn::with_config(HmnConfig {
+        migration: MigrationPolicy::Exhaustive,
+        ..Default::default()
+    });
 
     // Quality report across ratios: migration's benefit should shrink as
     // ratio grows.
     eprintln!("[ablation_migration] objective with vs. without migration:");
     for ratio in [2.5, 5.0, 10.0] {
-        let scenario = Scenario { ratio, density: 0.02, workload: WorkloadKind::HighLevel };
+        let scenario = Scenario {
+            ratio,
+            density: 0.02,
+            workload: WorkloadKind::HighLevel,
+        };
         let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
         let mut rng = SmallRng::seed_from_u64(1);
         let a = with.map(&inst.phys, &inst.venv, &mut rng);
@@ -34,7 +43,11 @@ fn bench_migration_ablation(c: &mut Criterion) {
         }
     }
 
-    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 5.0,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
     let mut group = c.benchmark_group("ablation_migration");
     group.sample_size(10);
@@ -48,7 +61,10 @@ fn bench_migration_ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                mapper.map(&inst.phys, &inst.venv, &mut rng).map(|o| o.objective).ok()
+                mapper
+                    .map(&inst.phys, &inst.venv, &mut rng)
+                    .map(|o| o.objective)
+                    .ok()
             })
         });
     }

@@ -13,12 +13,19 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn config_for(metric: PathMetric) -> HmnConfig {
-    HmnConfig { path_metric: metric, ..Default::default() }
+    HmnConfig {
+        path_metric: metric,
+        ..Default::default()
+    }
 }
 
 fn bench_path_metric(c: &mut Criterion) {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 5.0,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
 
     // One-shot quality report.
@@ -48,7 +55,10 @@ fn bench_path_metric(c: &mut Criterion) {
             let mapper = Hmn::with_config(config_for(metric));
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                mapper.map(&inst.phys, &inst.venv, &mut rng).map(|o| o.objective).ok()
+                mapper
+                    .map(&inst.phys, &inst.venv, &mut rng)
+                    .map(|o| o.objective)
+                    .ok()
             })
         });
     }

@@ -10,7 +10,11 @@ use rand::SeedableRng;
 
 fn bench_routing(c: &mut Criterion) {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 5.0,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
 
     let mappers: Vec<(String, Box<dyn Mapper>)> = vec![
@@ -39,7 +43,10 @@ fn bench_routing(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &inst, |b, inst| {
             b.iter(|| {
                 let mut rng = SmallRng::seed_from_u64(1);
-                mapper.map(&inst.phys, &inst.venv, &mut rng).map(|o| o.objective).ok()
+                mapper
+                    .map(&inst.phys, &inst.venv, &mut rng)
+                    .map(|o| o.objective)
+                    .ok()
             })
         });
     }

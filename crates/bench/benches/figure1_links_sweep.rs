@@ -12,9 +12,17 @@ fn bench_links_sweep(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(3));
     for ratio in [7.5, 20.0, 30.0] {
-        let workload = if ratio >= 20.0 { WorkloadKind::LowLevel } else { WorkloadKind::HighLevel };
+        let workload = if ratio >= 20.0 {
+            WorkloadKind::LowLevel
+        } else {
+            WorkloadKind::HighLevel
+        };
         let density = if ratio >= 20.0 { 0.01 } else { 0.02 };
-        let scenario = Scenario { ratio, density, workload };
+        let scenario = Scenario {
+            ratio,
+            density,
+            workload,
+        };
         let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
         let links = inst.venv.link_count();
         group.throughput(Throughput::Elements(links as u64));
@@ -23,8 +31,15 @@ fn bench_links_sweep(c: &mut Criterion) {
             &inst,
             |b, inst| {
                 b.iter(|| {
-                    run_one(&inst.phys, &inst.venv, MapperKind::Hmn, inst.mapper_seed, 200, false)
-                        .map(|m| m.routed_links)
+                    run_one(
+                        &inst.phys,
+                        &inst.venv,
+                        MapperKind::Hmn,
+                        inst.mapper_seed,
+                        200,
+                        false,
+                    )
+                    .map(|m| m.routed_links)
                 })
             },
         );

@@ -16,7 +16,11 @@ use rand::SeedableRng;
 fn paper_phys(shape: &generators::Topology) -> PhysicalTopology {
     PhysicalTopology::from_shape(
         shape,
-        std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(2000.0))),
+        std::iter::repeat(HostSpec::new(
+            Mips(2000.0),
+            MemMb::from_gb(2),
+            StorGb(2000.0),
+        )),
         LinkSpec::new(Kbps::from_gbps(1.0), Millis(5.0)),
         VmmOverhead::NONE,
     )
@@ -38,9 +42,17 @@ fn bench_graph_algorithms(c: &mut Criterion) {
         let src = phys.hosts()[0];
         let dst = *phys.hosts().last().unwrap();
 
-        group.bench_with_input(BenchmarkId::new("dijkstra_latency", name), &phys, |b, phys| {
-            b.iter(|| dijkstra(phys.graph(), dst, |_, l| l.lat.value()).distances().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dijkstra_latency", name),
+            &phys,
+            |b, phys| {
+                b.iter(|| {
+                    dijkstra(phys.graph(), dst, |_, l| l.lat.value())
+                        .distances()
+                        .len()
+                })
+            },
+        );
 
         let ar: Vec<f64> = dijkstra(phys.graph(), dst, |_, l| l.lat.value())
             .distances()

@@ -8,7 +8,11 @@ use emumap_workloads::{instantiate, ClusterSpec, ClusterTopology, Scenario, Work
 
 fn bench_mapping_time(c: &mut Criterion) {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 2.5, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 2.5,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let topologies: [(&str, ClusterTopology); 2] = [
         ("torus", ClusterSpec::paper_torus()),
         ("switched", ClusterSpec::paper_switched()),

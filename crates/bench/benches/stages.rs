@@ -10,7 +10,11 @@ use emumap_workloads::{instantiate, ClusterSpec, Scenario, WorkloadKind};
 
 fn bench_stages(c: &mut Criterion) {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 5.0,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 2009);
     let links = links_by_descending_bw(&inst.venv);
 

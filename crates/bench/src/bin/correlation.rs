@@ -35,12 +35,31 @@ fn main() {
     // experiment simulation is what costs time, so a focused subset of the
     // grid suffices.
     let scenarios = [
-        Scenario { ratio: 2.5, density: 0.02, workload: WorkloadKind::HighLevel },
-        Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel },
-        Scenario { ratio: 7.5, density: 0.02, workload: WorkloadKind::HighLevel },
-        Scenario { ratio: 10.0, density: 0.02, workload: WorkloadKind::HighLevel },
+        Scenario {
+            ratio: 2.5,
+            density: 0.02,
+            workload: WorkloadKind::HighLevel,
+        },
+        Scenario {
+            ratio: 5.0,
+            density: 0.02,
+            workload: WorkloadKind::HighLevel,
+        },
+        Scenario {
+            ratio: 7.5,
+            density: 0.02,
+            workload: WorkloadKind::HighLevel,
+        },
+        Scenario {
+            ratio: 10.0,
+            density: 0.02,
+            workload: WorkloadKind::HighLevel,
+        },
     ];
-    let config = RunConfig { simulate: true, ..args.config };
+    let config = RunConfig {
+        simulate: true,
+        ..args.config
+    };
 
     eprintln!(
         "running {} scenarios x 2 clusters x 4 mappers x {} reps with simulation...",

@@ -55,7 +55,11 @@ fn main() {
     }
     let points: Vec<Point> = runner
         .run(trials, |(ratio, rep), cache| {
-            let scenario = Scenario { ratio, density: 0.01, workload: WorkloadKind::LowLevel };
+            let scenario = Scenario {
+                ratio,
+                density: 0.01,
+                workload: WorkloadKind::LowLevel,
+            };
             let inst = instantiate(
                 &cluster,
                 ClusterSpec::paper_torus(),

@@ -37,7 +37,10 @@ pub fn parse_args(binary: &str, purpose: &str) -> HarnessArgs {
             other => die(binary, purpose, &format!("unknown flag {other}")),
         }
     }
-    HarnessArgs { config, paper_fidelity }
+    HarnessArgs {
+        config,
+        paper_fidelity,
+    }
 }
 
 fn die(binary: &str, purpose: &str, problem: &str) -> ! {

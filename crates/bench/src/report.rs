@@ -7,6 +7,28 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 
+/// Per-phase share of a benchmark's wall-clock, from the pipeline's trace
+/// spans (see [`crate::parallel::PhaseTotals`]).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PhaseBreakdown {
+    /// Seconds in the Hosting phase.
+    pub hosting_s: f64,
+    /// Seconds in the Migration phase.
+    pub migration_s: f64,
+    /// Seconds in the Networking phase.
+    pub networking_s: f64,
+}
+
+impl From<crate::parallel::PhaseTotals> for PhaseBreakdown {
+    fn from(t: crate::parallel::PhaseTotals) -> Self {
+        PhaseBreakdown {
+            hosting_s: t.hosting_s(),
+            migration_s: t.migration_s(),
+            networking_s: t.networking_s(),
+        }
+    }
+}
+
 /// One benchmark's summary row in a `BENCH_*.json` report.
 #[derive(Clone, Debug, Serialize)]
 pub struct BenchEntry {
@@ -18,6 +40,9 @@ pub struct BenchEntry {
     pub min_s: f64,
     /// Number of samples taken.
     pub samples: usize,
+    /// Per-phase breakdown of the total, when the benchmark ran with a
+    /// phase-tracking runner (`null` otherwise).
+    pub phases: Option<PhaseBreakdown>,
 }
 
 /// Writes benchmark summaries as pretty JSON, creating parent directories.
@@ -28,7 +53,8 @@ pub fn write_bench_json(path: impl AsRef<Path>, entries: &[BenchEntry]) -> std::
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let json = serde_json::to_string_pretty(entries).expect("bench entries serialize");
+    let json = serde_json::to_string_pretty(entries)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     std::fs::write(path, json)
 }
 
@@ -58,13 +84,22 @@ pub fn render_table(
     precision: usize,
 ) -> String {
     let idx = index_cells(cells);
-    let mappers = [MapperKind::Hmn, MapperKind::R, MapperKind::Ra, MapperKind::Hs];
+    let mappers = [
+        MapperKind::Hmn,
+        MapperKind::R,
+        MapperKind::Ra,
+        MapperKind::Hs,
+    ];
     let mut out = String::new();
     let _ = writeln!(out, "### {title}");
     let _ = write!(out, "{:<14}", "scenario");
     for cluster in Cluster::BOTH {
         for m in mappers {
-            let _ = write!(out, "{:>10}", format!("{}/{}", cluster_short(cluster), m.label()));
+            let _ = write!(
+                out,
+                "{:>10}",
+                format!("{}/{}", cluster_short(cluster), m.label())
+            );
         }
     }
     let _ = writeln!(out);
@@ -160,16 +195,31 @@ mod tests {
     fn bench_json_roundtrips_and_creates_directories() {
         let dir = std::env::temp_dir().join(format!("emumap-bench-report-{}", std::process::id()));
         let path = dir.join("nested").join("BENCH_test.json");
-        let entries = vec![BenchEntry {
-            name: "group/case".to_string(),
-            mean_s: 0.5,
-            min_s: 0.25,
-            samples: 10,
-        }];
+        let entries = vec![
+            BenchEntry {
+                name: "group/case".to_string(),
+                mean_s: 0.5,
+                min_s: 0.25,
+                samples: 10,
+                phases: None,
+            },
+            BenchEntry {
+                name: "group/phased".to_string(),
+                mean_s: 0.5,
+                min_s: 0.25,
+                samples: 10,
+                phases: Some(PhaseBreakdown {
+                    hosting_s: 0.1,
+                    migration_s: 0.2,
+                    networking_s: 0.2,
+                }),
+            },
+        ];
         write_bench_json(&path, &entries).expect("write");
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.contains("group/case"), "{text}");
         assert!(text.contains("\"samples\": 10"), "{text}");
+        assert!(text.contains("\"hosting_s\""), "{text}");
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -32,7 +32,12 @@ pub enum MapperKind {
 
 impl MapperKind {
     /// All four, in Table 2/3 column order.
-    pub const ALL: [MapperKind; 4] = [MapperKind::Hmn, MapperKind::R, MapperKind::Ra, MapperKind::Hs];
+    pub const ALL: [MapperKind; 4] = [
+        MapperKind::Hmn,
+        MapperKind::R,
+        MapperKind::Ra,
+        MapperKind::Hs,
+    ];
 
     /// The table column header.
     pub fn label(self) -> &'static str {
@@ -50,7 +55,10 @@ impl MapperKind {
         match self {
             MapperKind::Hmn => Box::new(Hmn::new()),
             MapperKind::R => Box::new(RandomDfs { max_attempts }),
-            MapperKind::Ra => Box::new(RandomAStar { max_attempts, ..Default::default() }),
+            MapperKind::Ra => Box::new(RandomAStar {
+                max_attempts,
+                ..Default::default()
+            }),
             MapperKind::Hs => Box::new(HostingDfs { max_attempts }),
         }
     }
@@ -113,14 +121,28 @@ impl CellResult {
     /// Mean objective over successes, or `None` if every rep failed (the
     /// tables print "—").
     pub fn mean_objective(&self) -> Option<f64> {
-        (!self.successes.is_empty())
-            .then(|| stats::mean(&self.successes.iter().map(|m| m.objective).collect::<Vec<_>>()))
+        (!self.successes.is_empty()).then(|| {
+            stats::mean(
+                &self
+                    .successes
+                    .iter()
+                    .map(|m| m.objective)
+                    .collect::<Vec<_>>(),
+            )
+        })
     }
 
     /// Mean mapping time over successes.
     pub fn mean_map_time(&self) -> Option<f64> {
-        (!self.successes.is_empty())
-            .then(|| stats::mean(&self.successes.iter().map(|m| m.map_time_s).collect::<Vec<_>>()))
+        (!self.successes.is_empty()).then(|| {
+            stats::mean(
+                &self
+                    .successes
+                    .iter()
+                    .map(|m| m.map_time_s)
+                    .collect::<Vec<_>>(),
+            )
+        })
     }
 }
 
@@ -164,7 +186,15 @@ pub fn run_one(
     max_attempts: usize,
     simulate: bool,
 ) -> Option<Measurement> {
-    run_one_cached(phys, venv, kind, mapper_seed, max_attempts, simulate, &mut MapCache::new())
+    run_one_cached(
+        phys,
+        venv,
+        kind,
+        mapper_seed,
+        max_attempts,
+        simulate,
+        &mut MapCache::new(),
+    )
 }
 
 /// [`run_one`] with a caller-owned warm [`MapCache`] — the hot path used
@@ -189,9 +219,8 @@ pub fn run_one_cached(
         "{} returned an invalid mapping",
         kind.label()
     );
-    let experiment_s = simulate.then(|| {
-        run_experiment(phys, venv, &outcome.mapping, &ExperimentSpec::default()).total_s
-    });
+    let experiment_s = simulate
+        .then(|| run_experiment(phys, venv, &outcome.mapping, &ExperimentSpec::default()).total_s);
     Some(Measurement {
         objective: outcome.objective,
         map_time_s,
@@ -288,13 +317,20 @@ mod tests {
     use emumap_workloads::WorkloadKind;
 
     fn tiny_scenario() -> Scenario {
-        Scenario { ratio: 2.5, density: 0.02, workload: WorkloadKind::HighLevel }
+        Scenario {
+            ratio: 2.5,
+            density: 0.02,
+            workload: WorkloadKind::HighLevel,
+        }
     }
 
     #[test]
     fn grid_covers_every_cell() {
         let scenarios = [tiny_scenario()];
-        let config = RunConfig { reps: 2, ..Default::default() };
+        let config = RunConfig {
+            reps: 2,
+            ..Default::default()
+        };
         let cells = run_grid(&scenarios, &MapperKind::ALL, &config);
         assert_eq!(cells.len(), 2 * 4);
         for cell in &cells {
@@ -311,7 +347,10 @@ mod tests {
     #[test]
     fn hmn_succeeds_on_the_easy_scenario() {
         let scenarios = [tiny_scenario()];
-        let config = RunConfig { reps: 2, ..Default::default() };
+        let config = RunConfig {
+            reps: 2,
+            ..Default::default()
+        };
         let cells = run_grid(&scenarios, &[MapperKind::Hmn], &config);
         for cell in &cells {
             assert_eq!(cell.failures, 0);
@@ -323,8 +362,16 @@ mod tests {
     #[test]
     fn grid_is_deterministic_across_thread_counts() {
         let scenarios = [tiny_scenario()];
-        let base = RunConfig { reps: 2, threads: 1, ..Default::default() };
-        let multi = RunConfig { reps: 2, threads: 3, ..Default::default() };
+        let base = RunConfig {
+            reps: 2,
+            threads: 1,
+            ..Default::default()
+        };
+        let multi = RunConfig {
+            reps: 2,
+            threads: 3,
+            ..Default::default()
+        };
         let a = run_grid(&scenarios, &[MapperKind::Hmn, MapperKind::Ra], &base);
         let b = run_grid(&scenarios, &[MapperKind::Hmn, MapperKind::Ra], &multi);
         for (x, y) in a.iter().zip(b.iter()) {
@@ -339,7 +386,11 @@ mod tests {
     #[test]
     fn simulate_flag_fills_experiment_time() {
         let scenarios = [tiny_scenario()];
-        let config = RunConfig { reps: 1, simulate: true, ..Default::default() };
+        let config = RunConfig {
+            reps: 1,
+            simulate: true,
+            ..Default::default()
+        };
         let cells = run_grid(&scenarios, &[MapperKind::Hmn], &config);
         for cell in &cells {
             for m in &cell.successes {

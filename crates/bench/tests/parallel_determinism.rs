@@ -36,7 +36,11 @@ fn one_trial(
 #[test]
 fn parallel_trials_match_sequential_for_all_heuristics() {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 2.5, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 2.5,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
 
     // A batch of trials across both clusters, several reps, all four
     // heuristics — enough to exercise cross-trial cache reuse on shared
@@ -58,8 +62,10 @@ fn parallel_trials_match_sequential_for_all_heuristics() {
     };
 
     // Reference: strictly sequential, a fresh cold cache per trial.
-    let sequential: Vec<Outcome> =
-        trials.iter().map(|t| run_trial(t, &mut MapCache::new())).collect();
+    let sequential: Vec<Outcome> = trials
+        .iter()
+        .map(|t| run_trial(t, &mut MapCache::new()))
+        .collect();
     assert!(
         sequential.iter().any(Option::is_some),
         "scenario too hard: no trial succeeded, the comparison is vacuous"
@@ -68,9 +74,8 @@ fn parallel_trials_match_sequential_for_all_heuristics() {
     // Same trials through the pool at several thread counts; each worker
     // keeps one warm cache across every trial it picks up.
     for threads in [1, 2, 4] {
-        let parallel = ParallelRunner::new(threads).run(trials.clone(), |t, cache| {
-            run_trial(&t, cache)
-        });
+        let parallel =
+            ParallelRunner::new(threads).run(trials.clone(), |t, cache| run_trial(&t, cache));
         assert_eq!(
             sequential, parallel,
             "outcomes diverged at {threads} threads"
@@ -84,13 +89,23 @@ fn warm_cache_is_invisible_within_one_worker() {
     // warm cache serving every trial back-to-back must reproduce the
     // fresh-cache-per-trial reference exactly.
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 5.0, density: 0.015, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 5.0,
+        density: 0.015,
+        workload: WorkloadKind::HighLevel,
+    };
     let (torus, _) = instantiate_both(&cluster, &scenario, 0, 2009);
 
     let mut warm = MapCache::new();
     for kind in MapperKind::ALL {
         for round in 0..2 {
-            let fresh = one_trial(&torus.phys, &torus.venv, kind, torus.mapper_seed, &mut MapCache::new());
+            let fresh = one_trial(
+                &torus.phys,
+                &torus.venv,
+                kind,
+                torus.mapper_seed,
+                &mut MapCache::new(),
+            );
             let reused = one_trial(&torus.phys, &torus.venv, kind, torus.mapper_seed, &mut warm);
             assert_eq!(fresh, reused, "{:?} round {round}", kind);
         }

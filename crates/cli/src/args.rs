@@ -52,7 +52,9 @@ impl Parsed {
             };
             // `-o` style shorthand: we normalize `--o` too; only `-o` is
             // special-cased below for ergonomics.
-            let value = iter.next().ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
             if flags.insert(key.to_string(), value).is_some() {
                 return Err(ArgError::Duplicate(tok));
             }
@@ -126,8 +128,14 @@ mod tests {
     #[test]
     fn errors_are_specific() {
         assert!(matches!(parse(&[]), Err(ArgError::MissingSubcommand)));
-        assert!(matches!(parse(&["map", "--phys"]), Err(ArgError::MissingValue(_))));
-        assert!(matches!(parse(&["map", "phys"]), Err(ArgError::UnexpectedToken(_))));
+        assert!(matches!(
+            parse(&["map", "--phys"]),
+            Err(ArgError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse(&["map", "phys"]),
+            Err(ArgError::UnexpectedToken(_))
+        ));
         assert!(matches!(
             parse(&["map", "--a", "1", "--a", "2"]),
             Err(ArgError::Duplicate(_))

@@ -4,11 +4,9 @@ use crate::args::Parsed;
 use emumap_bench::parallel::ParallelRunner;
 use emumap_core::{
     cluster_diagnostics, BestFit, ConsolidatingHmn, FirstFitDecreasing, HeuristicPool, Hmn,
-    HostingDfs, MapOutcome, Mapper, PoolPolicy, RandomAStar, RandomDfs, WorstFit,
+    HostingDfs, MapCache, MapOutcome, Mapper, PoolPolicy, RandomAStar, RandomDfs, WorstFit,
 };
-use emumap_model::{
-    validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment,
-};
+use emumap_model::{validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment};
 use emumap_sim::{run_experiment, ExperimentSpec};
 use emumap_workloads::{ClusterSpec, ClusterTopology, VirtualEnvSpec};
 use rand::rngs::SmallRng;
@@ -56,9 +54,11 @@ subcommands:
       generate a Table 1 virtual environment
   map --phys phys.json --venv venv.json
       [--mapper hmn|r|ra|hs|ffd|bf|wf|consolidate|pool]
-      [--seed S] [--attempts A] [-o mapping.json]
+      [--seed S] [--attempts A] [-o mapping.json] [--trace events.jsonl]
       map the environment; prints objective and stats; on failure prints
-      capacity diagnostics (memory/CPU/latency/bandwidth headroom)
+      capacity diagnostics (memory/CPU/latency/bandwidth headroom);
+      --trace streams structured pipeline events (phase spans with
+      timings, per-phase counters, per-link routing outcomes) as JSONL
   validate --phys phys.json --venv venv.json --mapping mapping.json
       check a mapping against the formal model (Eqs. 1-9)
   simulate --phys phys.json --venv venv.json --mapping mapping.json
@@ -66,10 +66,11 @@ subcommands:
       run the emulated experiment and print its execution time
   batch --phys phys.json --venv venv.json
       [--mapper NAME[,NAME..]|all] [--reps N] [--seed S] [--threads T]
-      [--attempts A] [-o trials.json]
+      [--attempts A] [-o trials.json] [--trace-dir DIR]
       run repeated mapping trials across a worker pool (per-worker warm
       caches; deterministic at any thread count) and print per-mapper
-      success rates, mean objective and mean mapping time
+      success rates, mean objective and mean mapping time; --trace-dir
+      writes one trace_MAPPER_repNNN.jsonl event stream per trial
   inspect --phys phys.json [--venv venv.json] [--mapping mapping.json]
       [--dot out.dot]
       summarize a topology / environment / mapping; optionally export the
@@ -78,8 +79,8 @@ subcommands:
       print this text";
 
 fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
-    let data = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
+    let data =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
     serde_json::from_str(&data).map_err(|e| CliError::Io(format!("parsing {path}: {e}")))
 }
 
@@ -98,9 +99,16 @@ fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError
 fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError> {
     Ok(match name {
         "hmn" => Box::new(Hmn::new()),
-        "r" => Box::new(RandomDfs { max_attempts: attempts }),
-        "ra" => Box::new(RandomAStar { max_attempts: attempts, ..Default::default() }),
-        "hs" => Box::new(HostingDfs { max_attempts: attempts }),
+        "r" => Box::new(RandomDfs {
+            max_attempts: attempts,
+        }),
+        "ra" => Box::new(RandomAStar {
+            max_attempts: attempts,
+            ..Default::default()
+        }),
+        "hs" => Box::new(HostingDfs {
+            max_attempts: attempts,
+        }),
         "ffd" => Box::new(FirstFitDecreasing::default()),
         "bf" => Box::new(BestFit::default()),
         "wf" => Box::new(WorstFit::default()),
@@ -108,8 +116,13 @@ fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError
         "pool" => Box::new(HeuristicPool::new(
             vec![
                 Box::new(Hmn::new()),
-                Box::new(RandomAStar { max_attempts: attempts, ..Default::default() }),
-                Box::new(RandomDfs { max_attempts: attempts }),
+                Box::new(RandomAStar {
+                    max_attempts: attempts,
+                    ..Default::default()
+                }),
+                Box::new(RandomDfs {
+                    max_attempts: attempts,
+                }),
             ],
             PoolPolicy::FirstSuccess,
         )),
@@ -160,7 +173,10 @@ fn gen_cluster(p: &Parsed) -> Result<Vec<String>, CliError> {
                 .filter(|r| hosts.is_multiple_of(*r))
                 .min_by_key(|&r| (hosts / r).abs_diff(r))
                 .unwrap_or(1);
-            ClusterTopology::Torus2D { rows, cols: hosts / rows }
+            ClusterTopology::Torus2D {
+                rows,
+                cols: hosts / rows,
+            }
         }
         t => t,
     };
@@ -184,7 +200,9 @@ fn gen_venv(p: &Parsed) -> Result<Vec<String>, CliError> {
         "high" => VirtualEnvSpec::high_level(guests, density),
         "low" => VirtualEnvSpec::low_level(guests, density),
         other => {
-            return Err(CliError::Usage(format!("unknown workload '{other}' (high|low)")))
+            return Err(CliError::Usage(format!(
+                "unknown workload '{other}' (high|low)"
+            )))
         }
     };
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -207,7 +225,19 @@ fn map_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     let mapper = build_mapper(p.optional("mapper").unwrap_or("hmn"), attempts)?;
 
     let mut rng = SmallRng::seed_from_u64(seed);
-    let outcome: MapOutcome = mapper.map(&phys, &venv, &mut rng).map_err(|e| {
+    let mut cache = MapCache::new();
+    if let Some(path) = p.optional("trace") {
+        let sink = emumap_trace::JsonlSink::create(path)
+            .map_err(|e| CliError::Io(format!("opening trace {path}: {e}")))?;
+        cache.trace = emumap_trace::Tracer::new(Box::new(sink));
+    }
+    let result = mapper.map_with_cache(&phys, &venv, &mut rng, &mut cache);
+    // The trace is most valuable on failures; flush it before bailing.
+    if let Some(mut sink) = cache.trace.take_sink() {
+        sink.flush()
+            .map_err(|e| CliError::Io(format!("writing trace: {e}")))?;
+    }
+    let outcome: MapOutcome = result.map_err(|e| {
         let d = cluster_diagnostics(&phys, &venv);
         CliError::Mapping(format!(
             "{e}\n  diagnostics:\n    memory  : {} / {} MB demanded ({:.1}%)\n    cpu     : {:.0} / {:.0} MIPS demanded ({:.1}%)\n    latency : cluster diameter {:.1} ms vs tightest bound {:.1} ms\n    bandwidth: {:.0} / {:.0} kbps total demand ({:.1}%)",
@@ -233,7 +263,11 @@ fn map_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     let mut lines = vec![
         format!("mapper          : {}", mapper.name()),
         format!("objective (Eq10): {:.3} MIPS stddev", outcome.objective),
-        format!("hosts used      : {}/{}", outcome.mapping.hosts_used(), phys.host_count()),
+        format!(
+            "hosts used      : {}/{}",
+            outcome.mapping.hosts_used(),
+            phys.host_count()
+        ),
         format!(
             "links           : {} routed, {} intra-host",
             outcome.mapping.routed_link_count(),
@@ -249,14 +283,15 @@ fn map_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         ),
         format!(
             "tables          : {} Dijkstra runs ({} hop tables), {} warm-cache hits",
-            outcome.stats.dijkstra_runs,
-            outcome.stats.hop_tables,
-            outcome.stats.ar_cache_hits
+            outcome.stats.dijkstra_runs, outcome.stats.hop_tables, outcome.stats.ar_cache_hits
         ),
     ];
     if let Some(out) = p.optional("out") {
         write_json(out, &outcome.mapping)?;
         lines.push(format!("wrote {out}"));
+    }
+    if let Some(path) = p.optional("trace") {
+        lines.push(format!("wrote trace -> {path}"));
     }
     Ok(lines)
 }
@@ -293,7 +328,10 @@ fn simulate_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     };
     let result = run_experiment(&phys, &venv, &mapping, &spec);
     Ok(vec![
-        format!("experiment time : {:.4}s ({} rounds)", result.total_s, spec.rounds),
+        format!(
+            "experiment time : {:.4}s ({} rounds)",
+            result.total_s, spec.rounds
+        ),
         format!("  compute       : {:.4}s", result.compute_s),
         format!("  network       : {:.4}s", result.network_s),
     ])
@@ -324,13 +362,20 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
 
     let spec = p.optional("mapper").unwrap_or("hmn");
     let names: Vec<String> = if spec == "all" {
-        ["hmn", "r", "ra", "hs"].iter().map(|s| s.to_string()).collect()
+        ["hmn", "r", "ra", "hs"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         spec.split(',').map(|s| s.trim().to_string()).collect()
     };
     // Validate every name up front so the workers can unwrap.
     for name in &names {
         build_mapper(name, attempts)?;
+    }
+    let trace_dir = p.optional("trace-dir");
+    if let Some(dir) = trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| CliError::Io(format!("creating {dir}: {e}")))?;
     }
 
     let mut work: Vec<(usize, u32)> = Vec::new();
@@ -351,7 +396,19 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         let mapper = build_mapper(&names[mi], attempts).expect("validated above");
         let s = trial_seed(mi, rep);
         let mut rng = SmallRng::seed_from_u64(s);
-        match mapper.map_with_cache(&phys, &venv, &mut rng, cache) {
+        if let Some(dir) = trace_dir {
+            let path = Path::new(dir).join(format!("trace_{}_rep{rep:03}.jsonl", names[mi]));
+            // Trace I/O must never fail a trial; an unopenable file just
+            // leaves this trial untraced.
+            if let Ok(sink) = emumap_trace::JsonlSink::create(&path) {
+                cache.trace = emumap_trace::Tracer::new(Box::new(sink));
+            }
+        }
+        let mapped = mapper.map_with_cache(&phys, &venv, &mut rng, cache);
+        if let Some(mut sink) = cache.trace.take_sink() {
+            let _ = sink.flush();
+        }
+        match mapped {
             Ok(o) => TrialRecord {
                 mapper: names[mi].clone(),
                 rep,
@@ -408,6 +465,9 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         write_json(out, &records)?;
         lines.push(format!("wrote {out}"));
     }
+    if let Some(dir) = trace_dir {
+        lines.push(format!("wrote traces -> {dir}"));
+    }
     Ok(lines)
 }
 
@@ -423,8 +483,16 @@ fn inspect_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         phys.graph().edge_count()
     ));
     let total_proc = phys.total_effective_proc().value();
-    let total_mem: u64 = phys.hosts().iter().map(|&h| phys.effective_mem(h).value()).sum();
-    let total_stor: f64 = phys.hosts().iter().map(|&h| phys.effective_stor(h).value()).sum();
+    let total_mem: u64 = phys
+        .hosts()
+        .iter()
+        .map(|&h| phys.effective_mem(h).value())
+        .sum();
+    let total_stor: f64 = phys
+        .hosts()
+        .iter()
+        .map(|&h| phys.effective_stor(h).value())
+        .sum();
     lines.push(format!(
         "capacity : {total_proc:.0} MIPS, {total_mem} MB memory, {total_stor:.0} GB storage"
     ));
@@ -468,7 +536,11 @@ fn inspect_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
             mapping.routed_link_count(),
             mapping.intra_host_link_count(),
             emumap_model::objective::mapping_objective(&phys, venv, &mapping),
-            if valid { "VALID" } else { "INVALID (run `emumap validate` for details)" },
+            if valid {
+                "VALID"
+            } else {
+                "INVALID (run `emumap validate` for details)"
+            },
         ));
         // Per-host occupancy sparkline.
         let groups = mapping.guests_by_host();
@@ -489,7 +561,10 @@ fn inspect_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     if let Some(out) = p.optional("dot") {
         let dot = emumap_graph::to_dot(
             phys.graph(),
-            &emumap_graph::DotOptions { name: "cluster".to_string(), graph_attrs: String::new() },
+            &emumap_graph::DotOptions {
+                name: "cluster".to_string(),
+                graph_attrs: String::new(),
+            },
             |id, node| match node {
                 emumap_model::PhysNode::Host(spec) => format!(
                     "label=\"h{}\\n{:.0} MIPS\", shape=box",
@@ -540,11 +615,28 @@ mod tests {
         let venv_s = venv.to_str().unwrap();
         let mapping_s = mapping.to_str().unwrap();
 
-        run_tokens(&["gen-cluster", "--topology", "switched", "--seed", "1", "-o", phys_s])
-            .expect("gen-cluster");
         run_tokens(&[
-            "gen-venv", "--workload", "high", "--guests", "60", "--density", "0.03", "--seed",
-            "2", "-o", venv_s,
+            "gen-cluster",
+            "--topology",
+            "switched",
+            "--seed",
+            "1",
+            "-o",
+            phys_s,
+        ])
+        .expect("gen-cluster");
+        run_tokens(&[
+            "gen-venv",
+            "--workload",
+            "high",
+            "--guests",
+            "60",
+            "--density",
+            "0.03",
+            "--seed",
+            "2",
+            "-o",
+            venv_s,
         ])
         .expect("gen-venv");
         let lines = run_tokens(&[
@@ -554,13 +646,26 @@ mod tests {
         assert!(lines.iter().any(|l| l.contains("objective")));
 
         let lines = run_tokens(&[
-            "validate", "--phys", phys_s, "--venv", venv_s, "--mapping", mapping_s,
+            "validate",
+            "--phys",
+            phys_s,
+            "--venv",
+            venv_s,
+            "--mapping",
+            mapping_s,
         ])
         .expect("validate");
         assert!(lines[0].starts_with("VALID"));
 
         let lines = run_tokens(&[
-            "simulate", "--phys", phys_s, "--venv", venv_s, "--mapping", mapping_s, "--rounds",
+            "simulate",
+            "--phys",
+            phys_s,
+            "--venv",
+            venv_s,
+            "--mapping",
+            mapping_s,
+            "--rounds",
             "3",
         ])
         .expect("simulate");
@@ -579,7 +684,10 @@ mod tests {
 
     #[test]
     fn unknown_subcommand_is_a_usage_error() {
-        assert!(matches!(run_tokens(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run_tokens(&["frobnicate"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -594,7 +702,15 @@ mod tests {
         let phys = dir.join("p36.json");
         let phys_s = phys.to_str().unwrap();
         let lines = run_tokens(&[
-            "gen-cluster", "--topology", "torus", "--hosts", "36", "--seed", "3", "-o", phys_s,
+            "gen-cluster",
+            "--topology",
+            "torus",
+            "--hosts",
+            "36",
+            "--seed",
+            "3",
+            "-o",
+            phys_s,
         ])
         .unwrap();
         assert!(lines[0].contains("36 hosts"), "{lines:?}");
@@ -615,8 +731,18 @@ mod tests {
         let mapping_s = mapping.to_str().unwrap();
 
         run_tokens(&["gen-cluster", "--seed", "1", "-o", phys_s]).unwrap();
-        run_tokens(&["gen-venv", "--guests", "10", "--density", "0.2", "--seed", "2", "-o", venv_s])
-            .unwrap();
+        run_tokens(&[
+            "gen-venv",
+            "--guests",
+            "10",
+            "--density",
+            "0.2",
+            "--seed",
+            "2",
+            "-o",
+            venv_s,
+        ])
+        .unwrap();
         run_tokens(&["map", "--phys", phys_s, "--venv", venv_s, "-o", mapping_s]).unwrap();
 
         // Corrupt: drop one route from the mapping JSON.
@@ -627,7 +753,13 @@ mod tests {
         write_json(mapping_s, &m).unwrap();
 
         let err = run_tokens(&[
-            "validate", "--phys", phys_s, "--venv", venv_s, "--mapping", mapping_s,
+            "validate",
+            "--phys",
+            phys_s,
+            "--venv",
+            venv_s,
+            "--mapping",
+            mapping_s,
         ])
         .unwrap_err();
         assert!(matches!(err, CliError::Invalid(_)));
@@ -641,14 +773,44 @@ mod tests {
         let venv = dir.join("venv.json");
         let phys_s = phys.to_str().unwrap();
         let venv_s = venv.to_str().unwrap();
-        run_tokens(&["gen-cluster", "--topology", "torus", "--seed", "1", "-o", phys_s]).unwrap();
-        run_tokens(&["gen-venv", "--guests", "60", "--density", "0.03", "--seed", "2", "-o", venv_s])
-            .unwrap();
+        run_tokens(&[
+            "gen-cluster",
+            "--topology",
+            "torus",
+            "--seed",
+            "1",
+            "-o",
+            phys_s,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "gen-venv",
+            "--guests",
+            "60",
+            "--density",
+            "0.03",
+            "--seed",
+            "2",
+            "-o",
+            venv_s,
+        ])
+        .unwrap();
 
         let run_at = |threads: &str, out: &str| {
             run_tokens(&[
-                "batch", "--phys", phys_s, "--venv", venv_s, "--mapper", "all", "--reps", "2",
-                "--threads", threads, "-o", out,
+                "batch",
+                "--phys",
+                phys_s,
+                "--venv",
+                venv_s,
+                "--mapper",
+                "all",
+                "--reps",
+                "2",
+                "--threads",
+                threads,
+                "-o",
+                out,
             ])
             .expect("batch")
         };
@@ -663,9 +825,13 @@ mod tests {
         let strip = |path: &std::path::Path| -> serde::Value {
             let mut v =
                 serde_json::value_from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
-            let serde::Value::Array(recs) = &mut v else { panic!("expected array") };
+            let serde::Value::Array(recs) = &mut v else {
+                panic!("expected array")
+            };
             for rec in recs {
-                let serde::Value::Object(pairs) = rec else { panic!("expected object") };
+                let serde::Value::Object(pairs) = rec else {
+                    panic!("expected object")
+                };
                 pairs.retain(|(k, _)| k != "map_time_s" && k != "networking_time_s");
             }
             v
@@ -686,8 +852,18 @@ mod tests {
         let phys_s = phys.to_str().unwrap();
         let venv_s = venv.to_str().unwrap();
         run_tokens(&["gen-cluster", "--seed", "1", "-o", phys_s]).unwrap();
-        run_tokens(&["gen-venv", "--guests", "10", "--density", "0.1", "--seed", "2", "-o", venv_s])
-            .unwrap();
+        run_tokens(&[
+            "gen-venv",
+            "--guests",
+            "10",
+            "--density",
+            "0.1",
+            "--seed",
+            "2",
+            "-o",
+            venv_s,
+        ])
+        .unwrap();
         let err = run_tokens(&[
             "batch", "--phys", phys_s, "--venv", venv_s, "--mapper", "hmn,nope",
         ])
@@ -703,9 +879,28 @@ mod tests {
         let venv = dir.join("venv.json");
         let phys_s = phys.to_str().unwrap();
         let venv_s = venv.to_str().unwrap();
-        run_tokens(&["gen-cluster", "--topology", "torus", "--seed", "1", "-o", phys_s]).unwrap();
-        run_tokens(&["gen-venv", "--guests", "50", "--density", "0.05", "--seed", "2", "-o", venv_s])
-            .unwrap();
+        run_tokens(&[
+            "gen-cluster",
+            "--topology",
+            "torus",
+            "--seed",
+            "1",
+            "-o",
+            phys_s,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "gen-venv",
+            "--guests",
+            "50",
+            "--density",
+            "0.05",
+            "--seed",
+            "2",
+            "-o",
+            venv_s,
+        ])
+        .unwrap();
         let lines =
             run_tokens(&["map", "--phys", phys_s, "--venv", venv_s, "--mapper", "hmn"]).unwrap();
         let text = lines.join("\n");
@@ -727,12 +922,39 @@ mod tests {
             mapping.to_str().unwrap(),
             dot.to_str().unwrap(),
         );
-        run_tokens(&["gen-cluster", "--topology", "torus", "--seed", "4", "-o", phys_s]).unwrap();
-        run_tokens(&["gen-venv", "--guests", "50", "--density", "0.05", "--seed", "5", "-o", venv_s])
-            .unwrap();
+        run_tokens(&[
+            "gen-cluster",
+            "--topology",
+            "torus",
+            "--seed",
+            "4",
+            "-o",
+            phys_s,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "gen-venv",
+            "--guests",
+            "50",
+            "--density",
+            "0.05",
+            "--seed",
+            "5",
+            "-o",
+            venv_s,
+        ])
+        .unwrap();
         run_tokens(&["map", "--phys", phys_s, "--venv", venv_s, "-o", mapping_s]).unwrap();
         let lines = run_tokens(&[
-            "inspect", "--phys", phys_s, "--venv", venv_s, "--mapping", mapping_s, "--dot", dot_s,
+            "inspect",
+            "--phys",
+            phys_s,
+            "--venv",
+            venv_s,
+            "--mapping",
+            mapping_s,
+            "--dot",
+            dot_s,
         ])
         .unwrap();
         let text = lines.join("\n");
@@ -757,6 +979,142 @@ mod tests {
     }
 
     #[test]
+    fn map_trace_contains_all_three_phases_and_map_end() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let trace = dir.join("events.jsonl");
+        let phys_s = phys.to_str().unwrap();
+        let venv_s = venv.to_str().unwrap();
+        let trace_s = trace.to_str().unwrap();
+        run_tokens(&[
+            "gen-cluster",
+            "--topology",
+            "torus",
+            "--seed",
+            "1",
+            "-o",
+            phys_s,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "gen-venv",
+            "--guests",
+            "50",
+            "--density",
+            "0.05",
+            "--seed",
+            "2",
+            "-o",
+            venv_s,
+        ])
+        .unwrap();
+        let lines = run_tokens(&[
+            "map", "--phys", phys_s, "--venv", venv_s, "--mapper", "hmn", "--trace", trace_s,
+        ])
+        .unwrap();
+        assert!(lines.iter().any(|l| l.contains("wrote trace")), "{lines:?}");
+
+        let text = std::fs::read_to_string(trace_s).unwrap();
+        let events: Vec<emumap_trace::TraceEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("each line parses as an event"))
+            .collect();
+        let phase_ends: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                emumap_trace::TraceEvent::PhaseEnd { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        use emumap_trace::Phase;
+        assert_eq!(
+            phase_ends,
+            vec![Phase::Hosting, Phase::Migration, Phase::Networking]
+        );
+        assert!(matches!(
+            events.last(),
+            Some(emumap_trace::TraceEvent::MapEnd {
+                ok: true,
+                objective: Some(_),
+                ..
+            })
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn batch_trace_dir_writes_one_file_per_trial() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let traces = dir.join("traces");
+        let phys_s = phys.to_str().unwrap();
+        let venv_s = venv.to_str().unwrap();
+        run_tokens(&[
+            "gen-cluster",
+            "--topology",
+            "torus",
+            "--seed",
+            "1",
+            "-o",
+            phys_s,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "gen-venv",
+            "--guests",
+            "40",
+            "--density",
+            "0.05",
+            "--seed",
+            "2",
+            "-o",
+            venv_s,
+        ])
+        .unwrap();
+        run_tokens(&[
+            "batch",
+            "--phys",
+            phys_s,
+            "--venv",
+            venv_s,
+            "--mapper",
+            "hmn,ffd",
+            "--reps",
+            "2",
+            "--threads",
+            "2",
+            "--trace-dir",
+            traces.to_str().unwrap(),
+        ])
+        .unwrap();
+        let mut files: Vec<String> = std::fs::read_dir(&traces)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        files.sort();
+        assert_eq!(
+            files,
+            vec![
+                "trace_ffd_rep000.jsonl",
+                "trace_ffd_rep001.jsonl",
+                "trace_hmn_rep000.jsonl",
+                "trace_hmn_rep001.jsonl",
+            ]
+        );
+        for f in &files {
+            let text = std::fs::read_to_string(traces.join(f)).unwrap();
+            assert!(!text.is_empty(), "{f} should contain events");
+            for line in text.lines() {
+                let _: emumap_trace::TraceEvent =
+                    serde_json::from_str(line).expect("every line parses");
+            }
+        }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
     fn map_reports_mapper_failure() {
         let dir = tmpdir();
         let phys = dir.join("phys.json");
@@ -766,7 +1124,15 @@ mod tests {
         run_tokens(&["gen-cluster", "--seed", "1", "-o", phys_s]).unwrap();
         // 4000 high-level guests cannot fit 40 hosts (memory).
         run_tokens(&[
-            "gen-venv", "--guests", "4000", "--density", "0.001", "--seed", "2", "-o", venv_s,
+            "gen-venv",
+            "--guests",
+            "4000",
+            "--density",
+            "0.001",
+            "--seed",
+            "2",
+            "-o",
+            venv_s,
         ])
         .unwrap();
         let err = run_tokens(&["map", "--phys", phys_s, "--venv", venv_s]).unwrap_err();

@@ -13,14 +13,16 @@
 //! Determinism: the entire schedule is driven by the caller's seeded RNG.
 
 use crate::astar_prune::AStarPruneConfig;
+use crate::cache::MapCache;
 use crate::error::MapError;
 use crate::hosting::{hosting_stage, links_by_descending_bw};
-use crate::migration::migration_stage;
 use crate::mapper::{MapOutcome, MapStats, Mapper};
-use crate::networking::networking_stage;
+use crate::migration::migration_stage;
+use crate::networking::networking_stage_with;
 use crate::state::PlacementState;
 use emumap_graph::NodeId;
 use emumap_model::{GuestId, Mapping, PhysicalTopology, VirtualEnvironment};
+use emumap_trace::{Phase, PhaseCounters, TraceEvent};
 use rand::{Rng, RngCore};
 use std::time::Instant;
 
@@ -100,28 +102,72 @@ impl Mapper for Annealing {
         venv: &VirtualEnvironment,
         rng: &mut dyn RngCore,
     ) -> Result<MapOutcome, MapError> {
+        self.map_with_cache(phys, venv, rng, &mut MapCache::new())
+    }
+
+    fn map_with_cache(
+        &self,
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
+        rng: &mut dyn RngCore,
+        cache: &mut MapCache,
+    ) -> Result<MapOutcome, MapError> {
         let cfg = &self.config;
         let start = Instant::now();
         let links = links_by_descending_bw(venv);
         let mut state = PlacementState::new(phys, venv);
+        cache.trace.emit(|| TraceEvent::MapStart {
+            mapper: "SA".into(),
+            guests: venv.guest_count() as u64,
+            links: venv.link_count() as u64,
+        });
 
         // --- Initial placement.
         let t_place = Instant::now();
+        cache.trace.emit(|| TraceEvent::PhaseStart {
+            phase: Phase::Hosting,
+        });
+        let mut hosting_counters = PhaseCounters::default();
         if cfg.seed_with_hosting {
-            hosting_stage(&mut state, &links)?;
+            let h = match hosting_stage(&mut state, &links) {
+                Ok(h) => h,
+                Err(e) => {
+                    cache.trace.emit(|| TraceEvent::MapEnd {
+                        ok: false,
+                        objective: None,
+                        elapsed_us: crate::hmn::elapsed_us(start),
+                    });
+                    return Err(e);
+                }
+            };
+            hosting_counters.colocation_hits = h.colocation_hits as u64;
+            hosting_counters.first_fit_fallbacks = h.first_fit_fallbacks as u64;
             migration_stage(&mut state);
         } else {
             let hosts: Vec<NodeId> = phys.hosts().to_vec();
             for g in venv.guest_ids() {
-                let fitting: Vec<NodeId> =
-                    hosts.iter().copied().filter(|&h| state.fits(g, h)).collect();
+                let fitting: Vec<NodeId> = hosts
+                    .iter()
+                    .copied()
+                    .filter(|&h| state.fits(g, h))
+                    .collect();
                 if fitting.is_empty() {
+                    cache.trace.emit(|| TraceEvent::MapEnd {
+                        ok: false,
+                        objective: None,
+                        elapsed_us: crate::hmn::elapsed_us(start),
+                    });
                     return Err(MapError::HostingFailed { guest: g });
                 }
                 let pick = fitting[rng.gen_range(0..fitting.len())];
                 state.assign(g, pick).expect("candidate verified");
             }
         }
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Hosting,
+            elapsed_us: crate::hmn::elapsed_us(t_place),
+            counters: hosting_counters,
+        });
 
         // --- Anneal.
         let guest_count = venv.guest_count();
@@ -144,7 +190,12 @@ impl Mapper for Annealing {
             .collect();
         let mut temperature = (current * cfg.initial_temperature_factor).max(1e-6);
         let mut accepted = 0usize;
+        let mut rejected = 0usize;
 
+        let t_anneal = Instant::now();
+        cache.trace.emit(|| TraceEvent::PhaseStart {
+            phase: Phase::Migration,
+        });
         if guest_count > 0 && hosts.len() > 1 {
             for _ in 0..cfg.iterations {
                 // Propose: move one random guest to one random other host.
@@ -158,8 +209,8 @@ impl Mapper for Annealing {
                 state.migrate(g, to).expect("fit checked");
                 let proposed = energy(&state, cfg.bandwidth_weight, bw_scale);
                 let delta = proposed - current;
-                let accept = delta <= 0.0
-                    || rng.gen::<f64>() < (-delta / temperature.max(1e-12)).exp();
+                let accept =
+                    delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-12)).exp();
                 if accept {
                     current = proposed;
                     accepted += 1;
@@ -170,6 +221,7 @@ impl Mapper for Annealing {
                         }
                     }
                 } else {
+                    rejected += 1;
                     state.migrate(g, from).expect("own slot still fits");
                 }
                 temperature *= cfg.cooling;
@@ -192,24 +244,66 @@ impl Mapper for Annealing {
                 .assign(g, best_placement[g.index()])
                 .expect("best placement was feasible when recorded");
         }
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Migration,
+            elapsed_us: crate::hmn::elapsed_us(t_anneal),
+            counters: PhaseCounters {
+                moves_accepted: accepted as u64,
+                moves_rejected: rejected as u64,
+                ..Default::default()
+            },
+        });
         let placement_time = t_place.elapsed();
 
         // --- Route.
         let t_route = Instant::now();
-        let (routes, net) = networking_stage(&mut state, &links, &cfg.astar)?;
+        cache.trace.emit(|| TraceEvent::PhaseStart {
+            phase: Phase::Networking,
+        });
+        let (routes, net) = match networking_stage_with(&mut state, &links, &cfg.astar, cache) {
+            Ok(r) => r,
+            Err(e) => {
+                cache.trace.emit(|| TraceEvent::MapEnd {
+                    ok: false,
+                    objective: None,
+                    elapsed_us: crate::hmn::elapsed_us(start),
+                });
+                return Err(e);
+            }
+        };
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Networking,
+            elapsed_us: crate::hmn::elapsed_us(t_route),
+            counters: PhaseCounters {
+                astar_expansions: net.search.expanded as u64,
+                astar_pushed: net.search.pushed as u64,
+                dijkstra_runs: net.dijkstra_runs as u64,
+                cache_hits: net.ar_cache_hits as u64,
+                ..Default::default()
+            },
+        });
         let stats = MapStats {
             attempts: 1,
             migrations: accepted,
+            migrations_rejected: rejected,
             routed_links: net.routed_links,
             intra_host_links: net.intra_host_links,
             astar_expansions: net.search.expanded,
+            dijkstra_runs: net.dijkstra_runs,
+            ar_cache_hits: net.ar_cache_hits,
             placement_time,
             networking_time: t_route.elapsed(),
             total_time: start.elapsed(),
             ..Default::default()
         };
         let mapping = Mapping::new(state.into_placement(), routes);
-        Ok(MapOutcome::new(phys, venv, mapping, stats))
+        let outcome = MapOutcome::new(phys, venv, mapping, stats);
+        cache.trace.emit(|| TraceEvent::MapEnd {
+            ok: true,
+            objective: Some(outcome.objective),
+            elapsed_us: crate::hmn::elapsed_us(start),
+        });
+        Ok(outcome)
     }
 }
 
@@ -228,7 +322,11 @@ mod tests {
     fn phys() -> PhysicalTopology {
         PhysicalTopology::from_shape(
             &generators::torus2d(3, 4),
-            std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(2000.0))),
+            std::iter::repeat(HostSpec::new(
+                Mips(2000.0),
+                MemMb::from_gb(2),
+                StorGb(2000.0),
+            )),
             LinkSpec::new(Kbps::from_gbps(1.0), Millis(5.0)),
             VmmOverhead::NONE,
         )
@@ -261,7 +359,10 @@ mod tests {
     fn annealing_produces_valid_mappings() {
         let p = phys();
         let v = venv(30, 1);
-        let cfg = AnnealingConfig { iterations: 3_000, ..Default::default() };
+        let cfg = AnnealingConfig {
+            iterations: 3_000,
+            ..Default::default()
+        };
         let out = Annealing { config: cfg }
             .map(&p, &v, &mut SmallRng::seed_from_u64(7))
             .unwrap();
@@ -272,7 +373,10 @@ mod tests {
     fn annealing_is_reproducible_per_seed() {
         let p = phys();
         let v = venv(20, 2);
-        let cfg = AnnealingConfig { iterations: 1_000, ..Default::default() };
+        let cfg = AnnealingConfig {
+            iterations: 1_000,
+            ..Default::default()
+        };
         let a = Annealing { config: cfg }
             .map(&p, &v, &mut SmallRng::seed_from_u64(3))
             .unwrap();
@@ -317,7 +421,9 @@ mod tests {
     fn annealing_from_hosting_is_competitive_with_hmn() {
         let p = phys();
         let v = venv(24, 6);
-        let hmn = Hmn::new().map(&p, &v, &mut SmallRng::seed_from_u64(1)).unwrap();
+        let hmn = Hmn::new()
+            .map(&p, &v, &mut SmallRng::seed_from_u64(1))
+            .unwrap();
         let sa = Annealing {
             config: AnnealingConfig {
                 iterations: 10_000,

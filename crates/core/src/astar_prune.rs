@@ -246,8 +246,17 @@ pub fn astar_prune_with(
     }
 
     scratch.begin();
-    let RouteScratch { arena, heap, on_path, .. } = scratch;
-    arena.push(PathNode { parent: ROOT, edge: EdgeId::from_index(0), end: origin });
+    let RouteScratch {
+        arena,
+        heap,
+        on_path,
+        ..
+    } = scratch;
+    arena.push(PathNode {
+        parent: ROOT,
+        edge: EdgeId::from_index(0),
+        end: origin,
+    });
     let mut seq: u64 = 0;
     heap.push(Candidate {
         key: make_key(config.metric, f64::INFINITY, 0.0, 0, seq),
@@ -303,13 +312,21 @@ pub fn astar_prune_with(
             // Latency pruning with the admissible Dijkstra bound.
             let step = phys.link(nb.edge).lat.value();
             let acc = best.latency + step;
-            let optimistic = if config.use_latency_lower_bound { ar[h.index()] } else { 0.0 };
+            let optimistic = if config.use_latency_lower_bound {
+                ar[h.index()]
+            } else {
+                0.0
+            };
             if acc + optimistic > bound + 1e-9 {
                 continue;
             }
             let bottleneck = best.bottleneck.min(avail);
             let arena_index = u32::try_from(arena.len()).expect("arena fits in u32");
-            arena.push(PathNode { parent: best.arena_index, edge: nb.edge, end: h });
+            arena.push(PathNode {
+                parent: best.arena_index,
+                edge: nb.edge,
+                end: h,
+            });
             seq += 1;
             stats.pushed += 1;
             heap.push(Candidate {
@@ -399,7 +416,12 @@ mod tests {
         let csr = phys.graph().to_csr();
         let mut scratch = RouteScratch::new();
         let config = AStarPruneConfig::default();
-        let queries = [(0usize, 2usize, 10.0, 100.0), (0, 4, 10.0, 100.0), (1, 3, 60.0, 50.0), (4, 0, 70.0, 40.0)];
+        let queries = [
+            (0usize, 2usize, 10.0, 100.0),
+            (0, 4, 10.0, 100.0),
+            (1, 3, 60.0, 50.0),
+            (4, 0, 70.0, 40.0),
+        ];
         for &(from, to, demand, bound) in &queries {
             let dest = phys.hosts()[to];
             let ar = ar_for(&phys, dest);
@@ -557,7 +579,10 @@ mod tests {
         let residual = ResidualState::new(&phys);
         let dest = phys.hosts()[2];
         let ar = ar_for(&phys, dest);
-        let cfg = AStarPruneConfig { metric: PathMetric::HopCount, ..Default::default() };
+        let cfg = AStarPruneConfig {
+            metric: PathMetric::HopCount,
+            ..Default::default()
+        };
         let (path, _) = astar_prune(
             &phys,
             &residual,
@@ -585,14 +610,30 @@ mod tests {
         let (from, to) = (phys.hosts()[0], phys.hosts()[22]);
         let ar = ar_for(&phys, to);
         let with_bound = AStarPruneConfig::default();
-        let without_bound =
-            AStarPruneConfig { use_latency_lower_bound: false, ..Default::default() };
+        let without_bound = AStarPruneConfig {
+            use_latency_lower_bound: false,
+            ..Default::default()
+        };
         let (_, s1) = astar_prune(
-            &phys, &residual, from, to, Kbps(1.0), Millis(30.0), &ar, &with_bound,
+            &phys,
+            &residual,
+            from,
+            to,
+            Kbps(1.0),
+            Millis(30.0),
+            &ar,
+            &with_bound,
         )
         .unwrap();
         let (_, s2) = astar_prune(
-            &phys, &residual, from, to, Kbps(1.0), Millis(30.0), &ar, &without_bound,
+            &phys,
+            &residual,
+            from,
+            to,
+            Kbps(1.0),
+            Millis(30.0),
+            &ar,
+            &without_bound,
         )
         .unwrap();
         assert!(
@@ -615,7 +656,10 @@ mod tests {
         let residual = ResidualState::new(&phys);
         let (from, to) = (phys.hosts()[0], phys.hosts()[39]);
         let ar = ar_for(&phys, to);
-        let cfg = AStarPruneConfig { max_expansions: 1, ..Default::default() };
+        let cfg = AStarPruneConfig {
+            max_expansions: 1,
+            ..Default::default()
+        };
         assert!(astar_prune(
             &phys,
             &residual,
@@ -642,8 +686,26 @@ mod tests {
         let (from, to) = (phys.hosts()[1], phys.hosts()[18]);
         let ar = ar_for(&phys, to);
         let cfg = AStarPruneConfig::default();
-        let a = astar_prune(&phys, &residual, from, to, Kbps(1.0), Millis(60.0), &ar, &cfg);
-        let b = astar_prune(&phys, &residual, from, to, Kbps(1.0), Millis(60.0), &ar, &cfg);
+        let a = astar_prune(
+            &phys,
+            &residual,
+            from,
+            to,
+            Kbps(1.0),
+            Millis(60.0),
+            &ar,
+            &cfg,
+        );
+        let b = astar_prune(
+            &phys,
+            &residual,
+            from,
+            to,
+            Kbps(1.0),
+            Millis(60.0),
+            &ar,
+            &cfg,
+        );
         assert_eq!(a.map(|(p, _)| p), b.map(|(p, _)| p));
     }
 }

@@ -13,15 +13,18 @@
 //!
 //! [`MapCache`] bundles the table cache with the search scratch buffers
 //! ([`RouteScratch`], [`DfsScratch`]) into the one state blob a worker
-//! thread owns. Everything here is a pure cache: any sequence of mapper
-//! calls produces bit-identical results with a fresh cache, a warm cache,
-//! or a cache previously used on a different topology.
+//! thread owns. Apart from the [`Tracer`] (a passive observer), everything
+//! here is a pure cache: any sequence of mapper calls produces
+//! bit-identical results with a fresh cache, a warm cache, or a cache
+//! previously used on a different topology — and the *decision* stream of
+//! trace events is equally cache-independent (see `emumap_trace`).
 
 use crate::astar_prune::RouteScratch;
 use crate::dfs_routing::DfsScratch;
 use emumap_graph::algo::dijkstra_csr;
 use emumap_graph::{CsrAdjacency, NodeId};
 use emumap_model::PhysicalTopology;
+use emumap_trace::Tracer;
 use std::collections::HashMap;
 
 /// FNV-1a over the topology features the cached tables depend on.
@@ -158,6 +161,10 @@ pub struct MapCache {
     pub scratch: RouteScratch,
     /// Naive-DFS stack and visited buffers.
     pub dfs: DfsScratch,
+    /// Structured-event tracer; disabled (zero-cost) by default. Attach a
+    /// sink with [`Tracer::new`] to stream [`emumap_trace::TraceEvent`]s
+    /// from every mapper run through this cache.
+    pub trace: Tracer,
 }
 
 impl MapCache {

@@ -73,11 +73,7 @@ pub fn drain_stage(state: &mut PlacementState<'_>) -> DrainStats {
 /// Attempts to move every guest off `victim` into the other occupied
 /// hosts. All-or-nothing: rolls back and returns `None` if any guest
 /// cannot be relocated; otherwise returns how many guests moved.
-fn try_drain(
-    state: &mut PlacementState<'_>,
-    victim: NodeId,
-    occupied: &[NodeId],
-) -> Option<usize> {
+fn try_drain(state: &mut PlacementState<'_>, victim: NodeId, occupied: &[NodeId]) -> Option<usize> {
     let guests: Vec<GuestId> = state.guests_on(victim).to_vec();
     if guests.is_empty() {
         return None;
@@ -102,7 +98,9 @@ fn try_drain(
         let Some(dest) = dests.into_iter().find(|&h| state.fits(*g, h)) else {
             // Roll back what we moved so far.
             for (g, _) in moved {
-                state.migrate(g, victim).expect("guest came from the victim");
+                state
+                    .migrate(g, victim)
+                    .expect("guest came from the victim");
             }
             return None;
         };
@@ -239,7 +237,9 @@ mod tests {
         }
         let mut rng = SmallRng::seed_from_u64(1);
         let plain = Hmn::new().map(&p, &venv, &mut rng).unwrap();
-        let packed = ConsolidatingHmn::default().map(&p, &venv, &mut rng).unwrap();
+        let packed = ConsolidatingHmn::default()
+            .map(&p, &venv, &mut rng)
+            .unwrap();
         assert!(
             packed.mapping.hosts_used() <= plain.mapping.hosts_used(),
             "consolidation must not use more hosts ({} vs {})",

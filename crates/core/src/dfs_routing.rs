@@ -73,6 +73,7 @@ pub struct DfsScratch {
     spare: Vec<Vec<(NodeId, EdgeId)>>,
     warm: bool,
     reuses: usize,
+    backtracks: usize,
 }
 
 impl DfsScratch {
@@ -85,6 +86,13 @@ impl DfsScratch {
     /// first). Surfaced in `MapStats::scratch_reuses`.
     pub fn reuses(&self) -> usize {
         self.reuses
+    }
+
+    /// Cumulative backtrack steps (frames popped with no remaining
+    /// neighbor) across every search on this scratch. Surfaced in
+    /// `MapStats::dfs_backtracks` and the trace's Networking counters.
+    pub fn backtracks(&self) -> usize {
+        self.backtracks
     }
 
     /// Resets the visited bitmap for an `n`-node graph and recycles any
@@ -165,25 +173,26 @@ pub fn naive_dfs_route_with(
     let want = demand.value();
     scratch.begin(graph.node_count());
 
-    let fill_neighbors =
-        |buf: &mut Vec<(NodeId, EdgeId)>, node: NodeId, rng: &mut dyn RngCore| {
-            buf.clear();
-            buf.extend(graph.neighbors(node).map(|nb| (nb.node, nb.edge)));
-            buf.shuffle(rng); // random tie-breaking baseline order
-            if rng.gen::<f64>() >= WANDER_PROBABILITY {
-                // Mostly: head toward the destination (stable sort keeps the
-                // shuffled order within equal distances).
-                buf.sort_by(|a, b| {
-                    hops_to_dest[a.0.index()].total_cmp(&hops_to_dest[b.0.index()])
-                });
-            }
-        };
+    let fill_neighbors = |buf: &mut Vec<(NodeId, EdgeId)>, node: NodeId, rng: &mut dyn RngCore| {
+        buf.clear();
+        buf.extend(graph.neighbors(node).map(|nb| (nb.node, nb.edge)));
+        buf.shuffle(rng); // random tie-breaking baseline order
+        if rng.gen::<f64>() >= WANDER_PROBABILITY {
+            // Mostly: head toward the destination (stable sort keeps the
+            // shuffled order within equal distances).
+            buf.sort_by(|a, b| hops_to_dest[a.0.index()].total_cmp(&hops_to_dest[b.0.index()]));
+        }
+    };
 
     scratch.on_path[origin.index()] = true;
     let mut edges: Vec<EdgeId> = Vec::new();
     let mut root = scratch.neighbor_buf();
     fill_neighbors(&mut root, origin, rng);
-    scratch.frames.push(Frame { node: origin, neighbors: root, next: 0 });
+    scratch.frames.push(Frame {
+        node: origin,
+        neighbors: root,
+        next: 0,
+    });
 
     while let Some(frame) = scratch.frames.last_mut() {
         let mut pushed: Option<NodeId> = None;
@@ -216,13 +225,18 @@ pub fn naive_dfs_route_with(
             scratch.on_path[node.index()] = true;
             let mut buf = scratch.neighbor_buf();
             fill_neighbors(&mut buf, node, rng);
-            scratch.frames.push(Frame { node, neighbors: buf, next: 0 });
+            scratch.frames.push(Frame {
+                node,
+                neighbors: buf,
+                next: 0,
+            });
         } else {
             let mut done = scratch.frames.pop().expect("frame exists");
             scratch.on_path[done.node.index()] = false;
             edges.pop();
             done.neighbors.clear();
             scratch.spare.push(done.neighbors);
+            scratch.backtracks += 1;
         }
     }
     None
@@ -257,7 +271,16 @@ mod tests {
         let dst = p.hosts()[to];
         let hops = hop_distances(p, dst);
         let mut rng = SmallRng::seed_from_u64(seed);
-        naive_dfs_route(p, r, p.hosts()[from], dst, Kbps(demand), Millis(bound), &hops, &mut rng)
+        naive_dfs_route(
+            p,
+            r,
+            p.hosts()[from],
+            dst,
+            Kbps(demand),
+            Millis(bound),
+            &hops,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -275,14 +298,32 @@ mod tests {
             let mut rng_a = SmallRng::seed_from_u64(seed);
             let mut rng_b = SmallRng::seed_from_u64(seed);
             let fresh = naive_dfs_route(
-                &p, &r, p.hosts()[from], dst, Kbps(10.0), Millis(60.0), &hops, &mut rng_a,
+                &p,
+                &r,
+                p.hosts()[from],
+                dst,
+                Kbps(10.0),
+                Millis(60.0),
+                &hops,
+                &mut rng_a,
             );
             let reused = naive_dfs_route_with(
-                &p, &r, p.hosts()[from], dst, Kbps(10.0), Millis(60.0), &hops, &mut rng_b,
+                &p,
+                &r,
+                p.hosts()[from],
+                dst,
+                Kbps(10.0),
+                Millis(60.0),
+                &hops,
+                &mut rng_b,
                 &mut scratch,
             );
             assert_eq!(fresh, reused, "seed {seed}");
-            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>(), "seed {seed}: RNG streams diverged");
+            assert_eq!(
+                rng_a.gen::<u64>(),
+                rng_b.gen::<u64>(),
+                "seed {seed}: RNG streams diverged"
+            );
         }
         assert!(scratch.reuses() > 0);
     }
@@ -317,8 +358,14 @@ mod tests {
             }
         }
         let rate = success as f64 / trials as f64;
-        assert!(rate > 0.6, "biased DFS should usually go direct (rate {rate})");
-        assert!(rate < 1.0, "wander must occasionally produce long paths (rate {rate})");
+        assert!(
+            rate > 0.6,
+            "biased DFS should usually go direct (rate {rate})"
+        );
+        assert!(
+            rate < 1.0,
+            "wander must occasionally produce long paths (rate {rate})"
+        );
     }
 
     #[test]
@@ -367,6 +414,38 @@ mod tests {
         let path = route(&p, &r, 1, 2, 50.0, 100.0, 9).unwrap();
         assert_eq!(path.len(), 2);
         assert!(!path.contains(&to3));
+    }
+
+    #[test]
+    fn backtrack_counter_accumulates() {
+        // Line 0-1-2 with the 1-2 edge saturated: the walk reaches node 1,
+        // exhausts its neighbors, pops it, then pops the root — exactly two
+        // backtracks, independent of the RNG.
+        let p = phys(&generators::line(3), 100.0);
+        let mut r = ResidualState::new(&p);
+        let e12 = p.graph().find_edge(p.hosts()[1], p.hosts()[2]).unwrap();
+        r.commit_route(&[e12], Kbps(95.0));
+        let mut scratch = DfsScratch::new();
+        let dst = p.hosts()[2];
+        let hops = hop_distances(&p, dst);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let res = naive_dfs_route_with(
+            &p,
+            &r,
+            p.hosts()[0],
+            dst,
+            Kbps(50.0),
+            Millis(100.0),
+            &hops,
+            &mut rng,
+            &mut scratch,
+        );
+        assert!(res.is_none());
+        assert_eq!(
+            scratch.backtracks(),
+            2,
+            "frame 1 then the root frame popped"
+        );
     }
 
     #[test]

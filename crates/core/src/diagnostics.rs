@@ -40,6 +40,28 @@ pub enum RouteVerdict {
     },
 }
 
+impl From<&RouteVerdict> for emumap_trace::LinkVerdict {
+    fn from(v: &RouteVerdict) -> Self {
+        match *v {
+            RouteVerdict::PossiblyRoutable => emumap_trace::LinkVerdict::PossiblyRoutable,
+            RouteVerdict::LatencyInfeasible {
+                best_possible_ms,
+                bound_ms,
+            } => emumap_trace::LinkVerdict::LatencyInfeasible {
+                best_possible_ms,
+                bound_ms,
+            },
+            RouteVerdict::BandwidthInfeasible {
+                max_flow_kbps,
+                demand_kbps,
+            } => emumap_trace::LinkVerdict::BandwidthInfeasible {
+                max_flow_kbps,
+                demand_kbps,
+            },
+        }
+    }
+}
+
 /// Diagnoses routability of a `spec`-shaped link between `from` and `to`
 /// under the given residual bandwidths.
 pub fn diagnose_route(
@@ -81,9 +103,7 @@ pub fn residual_max_flow(
 ) -> f64 {
     // Decorate a shadow graph whose edge payloads are the residual
     // bandwidths (max_flow reads capacities from payloads).
-    let shadow = phys
-        .graph()
-        .map_edges(|id, _| residual.bw(id).value());
+    let shadow = phys.graph().map_edges(|id, _| residual.bw(id).value());
     max_flow(&shadow, from, to, |c| *c)
 }
 
@@ -156,9 +176,7 @@ pub fn cluster_diagnostics(
 mod tests {
     use super::*;
     use emumap_graph::generators;
-    use emumap_model::{
-        GuestSpec, HostSpec, LinkSpec, Mips, StorGb, VmmOverhead,
-    };
+    use emumap_model::{GuestSpec, HostSpec, LinkSpec, Mips, StorGb, VmmOverhead};
 
     fn phys_line(n: usize, bw: f64, lat: f64) -> PhysicalTopology {
         PhysicalTopology::from_shape(
@@ -177,7 +195,10 @@ mod tests {
         let verdict = diagnose_route(&p, &r, p.hosts()[0], p.hosts()[3], &spec);
         assert_eq!(
             verdict,
-            RouteVerdict::LatencyInfeasible { best_possible_ms: 30.0, bound_ms: 25.0 }
+            RouteVerdict::LatencyInfeasible {
+                best_possible_ms: 30.0,
+                bound_ms: 25.0
+            }
         );
     }
 
@@ -197,7 +218,10 @@ mod tests {
         let verdict = diagnose_route(&p, &r, p.hosts()[0], p.hosts()[2], &spec);
         assert_eq!(
             verdict,
-            RouteVerdict::BandwidthInfeasible { max_flow_kbps: 200.0, demand_kbps: 250.0 }
+            RouteVerdict::BandwidthInfeasible {
+                max_flow_kbps: 200.0,
+                demand_kbps: 250.0
+            }
         );
     }
 

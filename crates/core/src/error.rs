@@ -38,7 +38,10 @@ impl std::fmt::Display for MapError {
                 write!(f, "hosting failed: no host can receive guest {guest}")
             }
             MapError::NetworkingFailed { link } => {
-                write!(f, "networking failed: no feasible path for virtual link {link}")
+                write!(
+                    f,
+                    "networking failed: no feasible path for virtual link {link}"
+                )
             }
             MapError::RetriesExhausted { attempts } => {
                 write!(f, "no valid mapping found after {attempts} attempts")
@@ -55,9 +58,13 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = MapError::HostingFailed { guest: GuestId::from_index(7) };
+        let e = MapError::HostingFailed {
+            guest: GuestId::from_index(7),
+        };
         assert!(format!("{e}").contains("n7"));
-        let e = MapError::NetworkingFailed { link: VLinkId::from_index(3) };
+        let e = MapError::NetworkingFailed {
+            link: VLinkId::from_index(3),
+        };
         assert!(format!("{e}").contains("e3"));
         let e = MapError::RetriesExhausted { attempts: 100 };
         assert!(format!("{e}").contains("100"));

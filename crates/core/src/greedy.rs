@@ -18,13 +18,15 @@
 //! policy.
 
 use crate::astar_prune::AStarPruneConfig;
+use crate::cache::MapCache;
 use crate::error::MapError;
 use crate::hosting::links_by_descending_bw;
 use crate::mapper::{MapOutcome, MapStats, Mapper};
-use crate::networking::networking_stage;
+use crate::networking::networking_stage_with;
 use crate::state::PlacementState;
 use emumap_graph::NodeId;
 use emumap_model::{GuestId, Mapping, PhysicalTopology, VirtualEnvironment};
+use emumap_trace::{Phase, PhaseCounters, TraceEvent};
 use rand::RngCore;
 use std::time::Instant;
 
@@ -94,34 +96,86 @@ fn place_greedy(state: &mut PlacementState<'_>, rule: Rule) -> Result<(), MapErr
     Ok(())
 }
 
-fn run_greedy(
+fn run_greedy_with(
     rule: Rule,
     name: &'static str,
     astar: &AStarPruneConfig,
     phys: &PhysicalTopology,
     venv: &VirtualEnvironment,
+    cache: &mut MapCache,
 ) -> Result<MapOutcome, MapError> {
     let start = Instant::now();
     let mut state = PlacementState::new(phys, venv);
+    cache.trace.emit(|| TraceEvent::MapStart {
+        mapper: name.into(),
+        guests: venv.guest_count() as u64,
+        links: venv.link_count() as u64,
+    });
     let t = Instant::now();
-    place_greedy(&mut state, rule)?;
+    cache.trace.emit(|| TraceEvent::PhaseStart {
+        phase: Phase::Hosting,
+    });
+    if let Err(e) = place_greedy(&mut state, rule) {
+        cache.trace.emit(|| TraceEvent::MapEnd {
+            ok: false,
+            objective: None,
+            elapsed_us: crate::hmn::elapsed_us(start),
+        });
+        return Err(e);
+    }
+    cache.trace.emit(|| TraceEvent::PhaseEnd {
+        phase: Phase::Hosting,
+        elapsed_us: crate::hmn::elapsed_us(t),
+        counters: PhaseCounters::default(),
+    });
     let placement_time = t.elapsed();
     let links = links_by_descending_bw(venv);
     let t = Instant::now();
-    let (routes, net) = networking_stage(&mut state, &links, astar)?;
+    cache.trace.emit(|| TraceEvent::PhaseStart {
+        phase: Phase::Networking,
+    });
+    let (routes, net) = match networking_stage_with(&mut state, &links, astar, cache) {
+        Ok(r) => r,
+        Err(e) => {
+            cache.trace.emit(|| TraceEvent::MapEnd {
+                ok: false,
+                objective: None,
+                elapsed_us: crate::hmn::elapsed_us(start),
+            });
+            return Err(e);
+        }
+    };
+    cache.trace.emit(|| TraceEvent::PhaseEnd {
+        phase: Phase::Networking,
+        elapsed_us: crate::hmn::elapsed_us(t),
+        counters: PhaseCounters {
+            astar_expansions: net.search.expanded as u64,
+            astar_pushed: net.search.pushed as u64,
+            dijkstra_runs: net.dijkstra_runs as u64,
+            cache_hits: net.ar_cache_hits as u64,
+            ..Default::default()
+        },
+    });
     let stats = MapStats {
         attempts: 1,
         routed_links: net.routed_links,
         intra_host_links: net.intra_host_links,
         astar_expansions: net.search.expanded,
+        dijkstra_runs: net.dijkstra_runs,
+        ar_cache_hits: net.ar_cache_hits,
         placement_time,
         networking_time: t.elapsed(),
         total_time: start.elapsed(),
         ..Default::default()
     };
-    let _ = name;
     let mapping = Mapping::new(state.into_placement(), routes);
-    Ok(MapOutcome::new(phys, venv, mapping, stats))
+    let outcome = MapOutcome::new(phys, venv, mapping, stats);
+    cache.trace.emit(|| TraceEvent::MapEnd {
+        ok: true,
+        objective: Some(outcome.objective),
+        elapsed_us: crate::hmn::elapsed_us(start),
+    });
+    Ok(outcome)
 }
 
 macro_rules! greedy_mapper {
@@ -142,9 +196,19 @@ macro_rules! greedy_mapper {
                 &self,
                 phys: &PhysicalTopology,
                 venv: &VirtualEnvironment,
-                _rng: &mut dyn RngCore,
+                rng: &mut dyn RngCore,
             ) -> Result<MapOutcome, MapError> {
-                run_greedy($rule, $label, &self.astar, phys, venv)
+                self.map_with_cache(phys, venv, rng, &mut MapCache::new())
+            }
+
+            fn map_with_cache(
+                &self,
+                phys: &PhysicalTopology,
+                venv: &VirtualEnvironment,
+                _rng: &mut dyn RngCore,
+                cache: &mut MapCache,
+            ) -> Result<MapOutcome, MapError> {
+                run_greedy_with($rule, $label, &self.astar, phys, venv, cache)
             }
         }
     };
@@ -183,7 +247,11 @@ mod tests {
     fn phys() -> PhysicalTopology {
         PhysicalTopology::from_shape(
             &generators::torus2d(3, 4),
-            std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(2000.0))),
+            std::iter::repeat(HostSpec::new(
+                Mips(2000.0),
+                MemMb::from_gb(2),
+                StorGb(2000.0),
+            )),
             LinkSpec::new(Kbps::from_gbps(1.0), Millis(5.0)),
             VmmOverhead::NONE,
         )
@@ -278,7 +346,9 @@ mod tests {
         let mut v = VirtualEnvironment::new();
         v.add_guest(GuestSpec::new(Mips(1.0), MemMb(1024), StorGb(1.0)));
         let mut rng = SmallRng::seed_from_u64(1);
-        let err = FirstFitDecreasing::default().map(&p, &v, &mut rng).unwrap_err();
+        let err = FirstFitDecreasing::default()
+            .map(&p, &v, &mut rng)
+            .unwrap_err();
         assert!(matches!(err, MapError::HostingFailed { .. }));
     }
 }

@@ -20,6 +20,7 @@ use crate::migration::{migration_stage, migration_stage_exhaustive, MigrationPol
 use crate::networking::networking_stage_with;
 use crate::state::PlacementState;
 use emumap_model::{Mapping, PhysicalTopology, VLinkId, VirtualEnvironment};
+use emumap_trace::{Phase, PhaseCounters, TraceEvent};
 use rand::seq::SliceRandom;
 use rand::RngCore;
 use std::time::Instant;
@@ -98,11 +99,7 @@ impl Hmn {
         Hmn { config }
     }
 
-    fn ordered_links(
-        &self,
-        venv: &VirtualEnvironment,
-        rng: &mut dyn RngCore,
-    ) -> Vec<VLinkId> {
+    fn ordered_links(&self, venv: &VirtualEnvironment, rng: &mut dyn RngCore) -> Vec<VLinkId> {
         match self.config.link_order {
             LinkOrder::DescendingBandwidth => links_by_descending_bw(venv),
             LinkOrder::AscendingBandwidth => {
@@ -141,17 +138,52 @@ impl Mapper for Hmn {
         cache: &mut MapCache,
     ) -> Result<MapOutcome, MapError> {
         let start = Instant::now();
-        let mut stats = MapStats { attempts: 1, ..Default::default() };
+        let mut stats = MapStats {
+            attempts: 1,
+            ..Default::default()
+        };
         let links = self.ordered_links(venv, rng);
         let mut state = PlacementState::new(phys, venv);
+        cache.trace.emit(|| TraceEvent::MapStart {
+            mapper: "HMN".to_string(),
+            guests: venv.guest_count() as u64,
+            links: venv.link_count() as u64,
+        });
 
         // Stage 1: Hosting.
+        cache.trace.emit(|| TraceEvent::PhaseStart {
+            phase: Phase::Hosting,
+        });
         let t = Instant::now();
-        hosting_stage_with(&mut state, &links, self.config.hosting)?;
+        let hosting = match hosting_stage_with(&mut state, &links, self.config.hosting) {
+            Ok(h) => h,
+            Err(e) => {
+                cache.trace.emit(|| TraceEvent::MapEnd {
+                    ok: false,
+                    objective: None,
+                    elapsed_us: elapsed_us(start),
+                });
+                return Err(e);
+            }
+        };
         stats.placement_time = t.elapsed();
+        stats.colocation_hits = hosting.colocation_hits;
+        stats.first_fit_fallbacks = hosting.first_fit_fallbacks;
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Hosting,
+            elapsed_us: elapsed_us(t),
+            counters: PhaseCounters {
+                colocation_hits: hosting.colocation_hits as u64,
+                first_fit_fallbacks: hosting.first_fit_fallbacks as u64,
+                ..Default::default()
+            },
+        });
 
         // Stage 2: Migration.
         if self.config.migration != MigrationPolicy::Off {
+            cache.trace.emit(|| TraceEvent::PhaseStart {
+                phase: Phase::Migration,
+            });
             let t = Instant::now();
             let m = match self.config.migration {
                 MigrationPolicy::Paper => migration_stage(&mut state),
@@ -159,13 +191,37 @@ impl Mapper for Hmn {
                 MigrationPolicy::Off => unreachable!("guarded above"),
             };
             stats.migrations = m.migrations;
+            stats.migrations_rejected = m.rejected;
             stats.migration_time = t.elapsed();
+            cache.trace.emit(|| TraceEvent::PhaseEnd {
+                phase: Phase::Migration,
+                elapsed_us: elapsed_us(t),
+                counters: PhaseCounters {
+                    moves_accepted: m.migrations as u64,
+                    moves_rejected: m.rejected as u64,
+                    ..Default::default()
+                },
+            });
         }
 
         // Stage 3: Networking.
+        cache.trace.emit(|| TraceEvent::PhaseStart {
+            phase: Phase::Networking,
+        });
         let t = Instant::now();
         let reuses_before = cache.scratch.reuses();
-        let (routes, net) = networking_stage_with(&mut state, &links, &self.config.astar(), cache)?;
+        let net_result = networking_stage_with(&mut state, &links, &self.config.astar(), cache);
+        let (routes, net) = match net_result {
+            Ok(ok) => ok,
+            Err(e) => {
+                cache.trace.emit(|| TraceEvent::MapEnd {
+                    ok: false,
+                    objective: None,
+                    elapsed_us: elapsed_us(start),
+                });
+                return Err(e);
+            }
+        };
         stats.networking_time = t.elapsed();
         stats.routed_links = net.routed_links;
         stats.intra_host_links = net.intra_host_links;
@@ -174,11 +230,33 @@ impl Mapper for Hmn {
         stats.dijkstra_runs = net.dijkstra_runs;
         stats.ar_cache_hits = net.ar_cache_hits;
         stats.scratch_reuses = cache.scratch.reuses() - reuses_before;
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Networking,
+            elapsed_us: elapsed_us(t),
+            counters: PhaseCounters {
+                astar_expansions: net.search.expanded as u64,
+                astar_pushed: net.search.pushed as u64,
+                dijkstra_runs: net.dijkstra_runs as u64,
+                cache_hits: net.ar_cache_hits as u64,
+                ..Default::default()
+            },
+        });
 
         let mapping = Mapping::new(state.into_placement(), routes);
         stats.total_time = start.elapsed();
-        Ok(MapOutcome::new(phys, venv, mapping, stats))
+        let outcome = MapOutcome::new(phys, venv, mapping, stats);
+        cache.trace.emit(|| TraceEvent::MapEnd {
+            ok: true,
+            objective: Some(outcome.objective),
+            elapsed_us: elapsed_us(start),
+        });
+        Ok(outcome)
     }
+}
+
+/// Microseconds elapsed since `t`, saturating into the event's `u64`.
+pub(crate) fn elapsed_us(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -195,7 +273,11 @@ mod tests {
     fn paper_like_phys() -> PhysicalTopology {
         PhysicalTopology::from_shape(
             &generators::torus2d(3, 4),
-            std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(2000.0))),
+            std::iter::repeat(HostSpec::new(
+                Mips(2000.0),
+                MemMb::from_gb(2),
+                StorGb(2000.0),
+            )),
             LinkSpec::new(Kbps::from_gbps(1.0), Millis(5.0)),
             VmmOverhead::NONE,
         )
@@ -225,7 +307,19 @@ mod tests {
     #[test]
     fn hmn_produces_a_valid_mapping() {
         let phys = paper_like_phys();
-        let venv = small_venv(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0)]);
+        let venv = small_venv(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+            ],
+        );
         let mut rng = SmallRng::seed_from_u64(1);
         let outcome = Hmn::new().map(&phys, &venv, &mut rng).unwrap();
         assert_eq!(validate_mapping(&phys, &venv, &outcome.mapping), Ok(()));
@@ -253,12 +347,28 @@ mod tests {
     #[test]
     fn migration_ablation_never_improves_objective() {
         let phys = paper_like_phys();
-        let venv = small_venv(10, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8), (8, 9)]);
+        let venv = small_venv(
+            10,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 9),
+            ],
+        );
         let mut rng = SmallRng::seed_from_u64(1);
         let with = Hmn::new().map(&phys, &venv, &mut rng).unwrap();
-        let without = Hmn::with_config(HmnConfig { migration: MigrationPolicy::Off, ..Default::default() })
-            .map(&phys, &venv, &mut rng)
-            .unwrap();
+        let without = Hmn::with_config(HmnConfig {
+            migration: MigrationPolicy::Off,
+            ..Default::default()
+        })
+        .map(&phys, &venv, &mut rng)
+        .unwrap();
         assert!(
             with.objective <= without.objective + 1e-9,
             "migration must not worsen the objective ({} vs {})",
@@ -340,7 +450,10 @@ mod tests {
     fn random_link_order_uses_rng_but_stays_valid() {
         let phys = paper_like_phys();
         let venv = small_venv(8, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]);
-        let cfg = HmnConfig { link_order: LinkOrder::Random, ..Default::default() };
+        let cfg = HmnConfig {
+            link_order: LinkOrder::Random,
+            ..Default::default()
+        };
         let outcome = Hmn::with_config(cfg)
             .map(&phys, &venv, &mut SmallRng::seed_from_u64(5))
             .unwrap();

@@ -28,6 +28,19 @@ pub enum HostingPolicy {
     FirstFitColocation,
 }
 
+/// What the Hosting stage did, for observability: how often co-location
+/// succeeded vs. how often placement fell back to a first-fit scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HostingStats {
+    /// Link-driven co-location decisions that landed guests together on
+    /// one host (pair co-locations plus anchor pulls onto a mapped peer).
+    pub colocation_hits: usize,
+    /// Guests placed by a first-fit scan after co-location was impossible
+    /// or inapplicable (split pairs, anchor fallbacks, self-loops,
+    /// isolated leftovers).
+    pub first_fit_fallbacks: usize,
+}
+
 /// Virtual links sorted by descending bandwidth demand (the paper's
 /// processing order), ties broken by id for determinism.
 pub fn links_by_descending_bw(venv: &VirtualEnvironment) -> Vec<VLinkId> {
@@ -64,8 +77,11 @@ fn first_fit(state: &PlacementState<'_>, hosts: &[NodeId], guest: GuestId) -> Op
 /// Runs the Hosting stage over `links` with the paper's co-location rule
 /// (see [`hosting_stage_with`] for the policy knob). Mutates `state`; on
 /// failure the state is left partially assigned (callers either abort or
-/// reset).
-pub fn hosting_stage(state: &mut PlacementState<'_>, links: &[VLinkId]) -> Result<(), MapError> {
+/// reset). Returns co-location/fallback counts.
+pub fn hosting_stage(
+    state: &mut PlacementState<'_>,
+    links: &[VLinkId],
+) -> Result<HostingStats, MapError> {
     hosting_stage_with(state, links, HostingPolicy::Paper)
 }
 
@@ -74,10 +90,11 @@ pub fn hosting_stage_with(
     state: &mut PlacementState<'_>,
     links: &[VLinkId],
     policy: HostingPolicy,
-) -> Result<(), MapError> {
+) -> Result<HostingStats, MapError> {
     let venv = state.venv();
     let mut hosts: Vec<NodeId> = state.phys().hosts().to_vec();
     sort_hosts(&mut hosts, state);
+    let mut stats = HostingStats::default();
 
     for &l in links {
         let (vs, vd) = venv.link_endpoints(l);
@@ -94,6 +111,7 @@ pub fn hosting_stage_with(
                     let h = first_fit(state, &hosts, vs)
                         .ok_or(MapError::HostingFailed { guest: vs })?;
                     state.assign(vs, h).expect("first_fit verified capacity");
+                    stats.first_fit_fallbacks += 1;
                     sort_hosts(&mut hosts, state);
                     continue;
                 }
@@ -112,6 +130,7 @@ pub fn hosting_stage_with(
                 if let Some(host) = colocate_on {
                     state.assign(vs, host).expect("combined fit verified");
                     state.assign(vd, host).expect("combined fit verified");
+                    stats.colocation_hits += 1;
                 } else {
                     // "the most CPU-intensive guest is assigned to the
                     // first host in the list able to receive the guest"
@@ -127,6 +146,7 @@ pub fn hosting_stage_with(
                     let h2 = first_fit(state, &hosts, g2)
                         .ok_or(MapError::HostingFailed { guest: g2 })?;
                     state.assign(g2, h2).expect("first_fit verified capacity");
+                    stats.first_fit_fallbacks += 2;
                 }
                 sort_hosts(&mut hosts, state);
             }
@@ -140,10 +160,11 @@ pub fn hosting_stage_with(
                     _ => unreachable!("remaining patterns handled above"),
                 };
                 let target = if state.fits(free, anchor_host) {
+                    stats.colocation_hits += 1;
                     anchor_host
                 } else {
-                    first_fit(state, &hosts, free)
-                        .ok_or(MapError::HostingFailed { guest: free })?
+                    stats.first_fit_fallbacks += 1;
+                    first_fit(state, &hosts, free).ok_or(MapError::HostingFailed { guest: free })?
                 };
                 state.assign(free, target).expect("fit verified");
                 sort_hosts(&mut hosts, state);
@@ -169,11 +190,12 @@ pub fn hosting_stage_with(
     for g in leftovers {
         let h = first_fit(state, &hosts, g).ok_or(MapError::HostingFailed { guest: g })?;
         state.assign(g, h).expect("first_fit verified capacity");
+        stats.first_fit_fallbacks += 1;
         sort_hosts(&mut hosts, state);
     }
 
     debug_assert!(state.is_complete());
-    Ok(())
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -295,6 +317,43 @@ mod tests {
     }
 
     #[test]
+    fn hosting_stats_count_colocations_and_fallbacks() {
+        // Colocated pair + anchor pull: two co-location hits, no fallbacks.
+        let phys = phys_uniform(4, 1024);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest(100));
+        let b = venv.add_guest(guest(100));
+        let c = venv.add_guest(guest(100));
+        venv.add_link(a, b, link(1000.0));
+        venv.add_link(b, c, link(1.0));
+        let mut st = PlacementState::new(&phys, &venv);
+        let stats = hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap();
+        assert_eq!(
+            stats,
+            HostingStats {
+                colocation_hits: 2,
+                first_fit_fallbacks: 0
+            }
+        );
+
+        // Pair that cannot share a host: both guests placed first-fit.
+        let phys = phys_uniform(4, 150);
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(GuestSpec::new(Mips(90.0), MemMb(100), StorGb(1.0)));
+        let b = venv.add_guest(GuestSpec::new(Mips(10.0), MemMb(100), StorGb(1.0)));
+        venv.add_link(a, b, link(1000.0));
+        let mut st = PlacementState::new(&phys, &venv);
+        let stats = hosting_stage(&mut st, &links_by_descending_bw(&venv)).unwrap();
+        assert_eq!(
+            stats,
+            HostingStats {
+                colocation_hits: 0,
+                first_fit_fallbacks: 2
+            }
+        );
+    }
+
+    #[test]
     fn no_links_at_all_is_fine() {
         let phys = phys_uniform(3, 1024);
         let mut venv = VirtualEnvironment::new();
@@ -379,11 +438,19 @@ mod policy_tests {
     fn paper_policy_splits_the_pair() {
         let (phys, venv) = adversarial();
         let mut st = PlacementState::new(&phys, &venv);
-        hosting_stage_with(&mut st, &links_by_descending_bw(&venv), HostingPolicy::Paper)
-            .unwrap();
+        hosting_stage_with(
+            &mut st,
+            &links_by_descending_bw(&venv),
+            HostingPolicy::Paper,
+        )
+        .unwrap();
         let a = emumap_model::GuestId::from_index(0);
         let b = emumap_model::GuestId::from_index(1);
-        assert_ne!(st.host_of(a), st.host_of(b), "paper rule splits on the first host");
+        assert_ne!(
+            st.host_of(a),
+            st.host_of(b),
+            "paper rule splits on the first host"
+        );
     }
 
     #[test]

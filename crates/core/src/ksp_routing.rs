@@ -21,6 +21,7 @@ use crate::networking::NetworkingStats;
 use crate::state::PlacementState;
 use emumap_graph::algo::k_shortest_paths;
 use emumap_model::{Mapping, PhysicalTopology, Route, VLinkId, VirtualEnvironment};
+use emumap_trace::{Phase, PhaseCounters, TraceEvent};
 use rand::RngCore;
 use std::time::Instant;
 
@@ -48,14 +49,17 @@ pub fn networking_stage_ksp_with(
     k: usize,
     cache: &mut MapCache,
 ) -> Result<(Vec<Route>, NetworkingStats), MapError> {
-    assert!(state.is_complete(), "networking requires a complete assignment");
+    assert!(
+        state.is_complete(),
+        "networking requires a complete assignment"
+    );
     assert!(k >= 1, "k must be at least 1");
     let venv = state.venv();
     let phys = state.phys();
     let mut routes = vec![Route::intra_host(); venv.link_count()];
     let mut stats = NetworkingStats::default();
 
-    let topo = &mut cache.topo;
+    let MapCache { topo, trace, .. } = cache;
     topo.prepare(phys);
     let runs_before = topo.dijkstra_runs();
     let hits_before = topo.hits();
@@ -66,11 +70,24 @@ pub fn networking_stage_ksp_with(
         let hd = state.host_of(vd).expect("assignment complete");
         if hs == hd {
             stats.intra_host_links += 1;
+            trace.emit(|| TraceEvent::LinkIntraHost {
+                link: l.index() as u64,
+            });
             continue;
         }
         let spec = *venv.link(l);
         let (ar, _) = topo.ar_and_csr(phys, hd);
         if ar[hs.index()] > spec.lat.value() + 1e-9 {
+            // The early-exit carries its own proof: the Dijkstra distance
+            // is the best achievable latency over all paths.
+            let best = ar[hs.index()];
+            trace.emit(|| TraceEvent::LinkFailed {
+                link: l.index() as u64,
+                verdict: emumap_trace::LinkVerdict::LatencyInfeasible {
+                    best_possible_ms: best,
+                    bound_ms: spec.lat.value(),
+                },
+            });
             return Err(MapError::NetworkingFailed { link: l });
         }
         // Note: candidate paths are recomputed per link on the *static*
@@ -78,12 +95,25 @@ pub fn networking_stage_ksp_with(
         // residuals, so commitments by earlier links are respected.
         let candidates = k_shortest_paths(phys.graph(), hs, hd, k, |_, link| link.lat.value());
         let chosen = candidates.into_iter().find(|p| {
-            p.cost <= spec.lat.value() + 1e-9
-                && state.residual().route_feasible(&p.edges, spec.bw)
+            p.cost <= spec.lat.value() + 1e-9 && state.residual().route_feasible(&p.edges, spec.bw)
         });
         let Some(path) = chosen else {
+            // Diagnosis runs dijkstra + max-flow; only pay for it when
+            // someone is listening.
+            if trace.is_enabled() {
+                let verdict =
+                    crate::diagnostics::diagnose_route(phys, state.residual(), hs, hd, &spec);
+                trace.emit(|| TraceEvent::LinkFailed {
+                    link: l.index() as u64,
+                    verdict: (&verdict).into(),
+                });
+            }
             return Err(MapError::NetworkingFailed { link: l });
         };
+        trace.emit(|| TraceEvent::LinkRouted {
+            link: l.index() as u64,
+            hops: path.edges.len() as u64,
+        });
         state.residual_mut().commit_route(&path.edges, spec.bw);
         routes[l.index()] = Route::new(path.edges);
         stats.routed_links += 1;
@@ -132,18 +162,82 @@ impl Mapper for HmnKsp {
         let start = Instant::now();
         let links = links_by_descending_bw(venv);
         let mut state = PlacementState::new(phys, venv);
+        cache.trace.emit(|| TraceEvent::MapStart {
+            mapper: "HMN-ksp".into(),
+            guests: venv.guest_count() as u64,
+            links: venv.link_count() as u64,
+        });
 
         let t = Instant::now();
-        hosting_stage(&mut state, &links)?;
+        cache.trace.emit(|| TraceEvent::PhaseStart {
+            phase: Phase::Hosting,
+        });
+        let hosting = match hosting_stage(&mut state, &links) {
+            Ok(h) => h,
+            Err(e) => {
+                cache.trace.emit(|| TraceEvent::MapEnd {
+                    ok: false,
+                    objective: None,
+                    elapsed_us: crate::hmn::elapsed_us(start),
+                });
+                return Err(e);
+            }
+        };
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Hosting,
+            elapsed_us: crate::hmn::elapsed_us(t),
+            counters: PhaseCounters {
+                colocation_hits: hosting.colocation_hits as u64,
+                first_fit_fallbacks: hosting.first_fit_fallbacks as u64,
+                ..Default::default()
+            },
+        });
         let placement_time = t.elapsed();
         let t = Instant::now();
+        cache.trace.emit(|| TraceEvent::PhaseStart {
+            phase: Phase::Migration,
+        });
         let migration = migration_stage(&mut state);
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Migration,
+            elapsed_us: crate::hmn::elapsed_us(t),
+            counters: PhaseCounters {
+                moves_accepted: migration.migrations as u64,
+                moves_rejected: migration.rejected as u64,
+                ..Default::default()
+            },
+        });
         let migration_time = t.elapsed();
         let t = Instant::now();
-        let (routes, net) = networking_stage_ksp_with(&mut state, &links, self.k, cache)?;
+        cache.trace.emit(|| TraceEvent::PhaseStart {
+            phase: Phase::Networking,
+        });
+        let (routes, net) = match networking_stage_ksp_with(&mut state, &links, self.k, cache) {
+            Ok(r) => r,
+            Err(e) => {
+                cache.trace.emit(|| TraceEvent::MapEnd {
+                    ok: false,
+                    objective: None,
+                    elapsed_us: crate::hmn::elapsed_us(start),
+                });
+                return Err(e);
+            }
+        };
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Networking,
+            elapsed_us: crate::hmn::elapsed_us(t),
+            counters: PhaseCounters {
+                dijkstra_runs: net.dijkstra_runs as u64,
+                cache_hits: net.ar_cache_hits as u64,
+                ..Default::default()
+            },
+        });
         let stats = MapStats {
             attempts: 1,
             migrations: migration.migrations,
+            migrations_rejected: migration.rejected,
+            colocation_hits: hosting.colocation_hits,
+            first_fit_fallbacks: hosting.first_fit_fallbacks,
             routed_links: net.routed_links,
             intra_host_links: net.intra_host_links,
             dijkstra_runs: net.dijkstra_runs,
@@ -155,7 +249,13 @@ impl Mapper for HmnKsp {
             ..Default::default()
         };
         let mapping = Mapping::new(state.into_placement(), routes);
-        Ok(MapOutcome::new(phys, venv, mapping, stats))
+        let outcome = MapOutcome::new(phys, venv, mapping, stats);
+        cache.trace.emit(|| TraceEvent::MapEnd {
+            ok: true,
+            objective: Some(outcome.objective),
+            elapsed_us: crate::hmn::elapsed_us(start),
+        });
+        Ok(outcome)
     }
 }
 
@@ -174,7 +274,11 @@ mod tests {
     fn ksp_mapping_validates() {
         let phys = PhysicalTopology::from_shape(
             &generators::torus2d(3, 4),
-            std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(2000.0))),
+            std::iter::repeat(HostSpec::new(
+                Mips(2000.0),
+                MemMb::from_gb(2),
+                StorGb(2000.0),
+            )),
             LinkSpec::new(Kbps::from_gbps(1.0), Millis(5.0)),
             VmmOverhead::NONE,
         );

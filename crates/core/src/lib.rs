@@ -72,15 +72,23 @@ mod random;
 mod state;
 
 pub use annealing::{Annealing, AnnealingConfig};
-pub use astar_prune::{astar_prune, astar_prune_with, AStarPruneConfig, PathMetric, RouteScratch, SearchStats};
+pub use astar_prune::{
+    astar_prune, astar_prune_with, AStarPruneConfig, PathMetric, RouteScratch, SearchStats,
+};
 pub use cache::{ArTables, MapCache};
 pub use consolidation::{drain_stage, ConsolidatingHmn, DrainStats};
-pub use dfs_routing::{hop_distances, naive_dfs_route, naive_dfs_route_with, DfsScratch, WANDER_PROBABILITY};
-pub use diagnostics::{cluster_diagnostics, diagnose_route, residual_max_flow, ClusterDiagnostics, RouteVerdict};
+pub use dfs_routing::{
+    hop_distances, naive_dfs_route, naive_dfs_route_with, DfsScratch, WANDER_PROBABILITY,
+};
+pub use diagnostics::{
+    cluster_diagnostics, diagnose_route, residual_max_flow, ClusterDiagnostics, RouteVerdict,
+};
 pub use error::MapError;
 pub use greedy::{BestFit, FirstFitDecreasing, WorstFit};
 pub use hmn::{Hmn, HmnConfig, LinkOrder};
-pub use hosting::{hosting_stage, hosting_stage_with, links_by_descending_bw, HostingPolicy};
+pub use hosting::{
+    hosting_stage, hosting_stage_with, links_by_descending_bw, HostingPolicy, HostingStats,
+};
 pub use ksp_routing::{networking_stage_ksp, networking_stage_ksp_with, HmnKsp};
 pub use mapper::{MapOutcome, MapStats, Mapper};
 pub use migration::{migration_stage, migration_stage_exhaustive, MigrationPolicy, MigrationStats};

@@ -2,9 +2,7 @@
 
 use crate::cache::MapCache;
 use crate::error::MapError;
-use emumap_model::{
-    objective::mapping_objective, Mapping, PhysicalTopology, VirtualEnvironment,
-};
+use emumap_model::{objective::mapping_objective, Mapping, PhysicalTopology, VirtualEnvironment};
 use rand::RngCore;
 use std::time::Duration;
 
@@ -14,8 +12,17 @@ use std::time::Duration;
 pub struct MapStats {
     /// Complete mapping attempts (1 for HMN; retry count for baselines).
     pub attempts: usize,
+    /// Hosting co-location decisions that landed link endpoints together.
+    pub colocation_hits: usize,
+    /// Hosting placements that fell back to a first-fit scan.
+    pub first_fit_fallbacks: usize,
     /// Guests moved by the Migration stage.
     pub migrations: usize,
+    /// Migration moves evaluated but rejected (no objective improvement),
+    /// or annealing proposals declined by the Metropolis rule.
+    pub migrations_rejected: usize,
+    /// DFS backtrack steps during baseline routing (0 for A\*Prune).
+    pub dfs_backtracks: usize,
     /// Virtual links routed over the network.
     pub routed_links: usize,
     /// Virtual links handled intra-host.
@@ -62,7 +69,11 @@ impl MapOutcome {
         stats: MapStats,
     ) -> Self {
         let objective = mapping_objective(phys, venv, &mapping);
-        MapOutcome { mapping, objective, stats }
+        MapOutcome {
+            mapping,
+            objective,
+            stats,
+        }
     }
 }
 

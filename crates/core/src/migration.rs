@@ -24,6 +24,9 @@ use emumap_model::GuestId;
 pub struct MigrationStats {
     /// Number of guests moved.
     pub migrations: usize,
+    /// Candidate moves evaluated (destination fits the guest) but not
+    /// taken because they failed to improve Eq. 10.
+    pub rejected: usize,
     /// Objective (Eq. 10) before the stage.
     pub objective_before: f64,
     /// Objective after the stage.
@@ -91,9 +94,13 @@ fn cheapest_guest_to_move(state: &PlacementState<'_>, host: NodeId) -> GuestId {
 /// # Panics
 /// Panics if the assignment is incomplete — Hosting must run first.
 pub fn migration_stage(state: &mut PlacementState<'_>) -> MigrationStats {
-    assert!(state.is_complete(), "migration requires a complete assignment");
+    assert!(
+        state.is_complete(),
+        "migration requires a complete assignment"
+    );
     let mut stats = MigrationStats {
         migrations: 0,
+        rejected: 0,
         objective_before: state.objective(),
         objective_after: 0.0,
     };
@@ -133,6 +140,7 @@ pub fn migration_stage(state: &mut PlacementState<'_>) -> MigrationStats {
                 moved = true;
                 break;
             }
+            stats.rejected += 1;
         }
         if !moved {
             break;
@@ -148,9 +156,13 @@ pub fn migration_stage(state: &mut PlacementState<'_>) -> MigrationStats {
 /// guests of the most-loaded host. Terminates because every move strictly
 /// decreases Eq. 10.
 pub fn migration_stage_exhaustive(state: &mut PlacementState<'_>) -> MigrationStats {
-    assert!(state.is_complete(), "migration requires a complete assignment");
+    assert!(
+        state.is_complete(),
+        "migration requires a complete assignment"
+    );
     let mut stats = MigrationStats {
         migrations: 0,
+        rejected: 0,
         objective_before: state.objective(),
         objective_after: 0.0,
     };
@@ -171,6 +183,7 @@ pub fn migration_stage_exhaustive(state: &mut PlacementState<'_>) -> MigrationSt
                 }
                 let after = state.objective_if_migrated(g, dest);
                 if after >= current - 1e-12 {
+                    stats.rejected += 1;
                     continue;
                 }
                 let better = match &best {
@@ -186,7 +199,9 @@ pub fn migration_stage_exhaustive(state: &mut PlacementState<'_>) -> MigrationSt
                 }
             }
         }
-        let Some((_, _, guest, dest)) = best else { break };
+        let Some((_, _, guest, dest)) = best else {
+            break;
+        };
         state.migrate(guest, dest).expect("fit checked");
         stats.migrations += 1;
     }
@@ -229,7 +244,10 @@ mod tests {
         }
         let stats = migration_stage(&mut st);
         assert!(stats.objective_after < stats.objective_before);
-        assert_eq!(stats.objective_after, 0.0, "uniform guests over uniform hosts balance exactly");
+        assert_eq!(
+            stats.objective_after, 0.0,
+            "uniform guests over uniform hosts balance exactly"
+        );
         assert_eq!(stats.migrations, 3);
         // One guest per host.
         for &h in p.hosts() {
@@ -249,6 +267,10 @@ mod tests {
         let stats = migration_stage(&mut st);
         assert_eq!(stats.migrations, 0);
         assert_eq!(stats.objective_before, stats.objective_after);
+        assert_eq!(
+            stats.rejected, 1,
+            "the one fitting destination was evaluated and rejected"
+        );
     }
 
     #[test]
@@ -293,8 +315,10 @@ mod tests {
         st.assign(b, p.hosts()[0]).unwrap();
         let stats = migration_stage(&mut st);
         // Balance would improve by moving one guest, but host 1 cannot take
-        // any guest: no migration may happen.
+        // any guest: no migration may happen — and an unfitting destination
+        // is not an evaluated proposal, so nothing counts as rejected.
         assert_eq!(stats.migrations, 0);
+        assert_eq!(stats.rejected, 0);
     }
 
     #[test]
@@ -380,7 +404,13 @@ mod exhaustive_tests {
         let p = phys(&[1000.0, 2000.0, 3000.0]);
         let mut venv = VirtualEnvironment::new();
         let guests: Vec<_> = (0..6)
-            .map(|i| venv.add_guest(GuestSpec::new(Mips(100.0 + 50.0 * i as f64), MemMb(64), StorGb(1.0))))
+            .map(|i| {
+                venv.add_guest(GuestSpec::new(
+                    Mips(100.0 + 50.0 * i as f64),
+                    MemMb(64),
+                    StorGb(1.0),
+                ))
+            })
             .collect();
         let build = |policy_paper: bool| {
             let mut st = PlacementState::new(&p, &venv);
@@ -436,10 +466,16 @@ mod exhaustive_tests {
         st_paper.assign(small, p.hosts()[0]).unwrap();
         st_paper.assign(big, p.hosts()[0]).unwrap();
         let paper = migration_stage(&mut st_paper);
-        assert_eq!(paper.migrations, 0, "paper policy stalls on the unmovable candidate");
+        assert_eq!(
+            paper.migrations, 0,
+            "paper policy stalls on the unmovable candidate"
+        );
 
         let exhaustive = migration_stage_exhaustive(&mut st);
-        assert_eq!(exhaustive.migrations, 1, "exhaustive policy moves the big guest");
+        assert_eq!(
+            exhaustive.migrations, 1,
+            "exhaustive policy moves the big guest"
+        );
         assert!(exhaustive.objective_after < paper.objective_after);
         assert_eq!(st.host_of(big), Some(p.hosts()[1]));
     }

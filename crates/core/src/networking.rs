@@ -9,9 +9,11 @@
 
 use crate::astar_prune::{astar_prune_with, AStarPruneConfig, SearchStats};
 use crate::cache::MapCache;
+use crate::diagnostics::diagnose_route;
 use crate::error::MapError;
 use crate::state::PlacementState;
 use emumap_model::{Route, VLinkId};
+use emumap_trace::TraceEvent;
 
 /// Statistics from a Networking run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -61,13 +63,21 @@ pub fn networking_stage_with(
     config: &AStarPruneConfig,
     cache: &mut MapCache,
 ) -> Result<(Vec<Route>, NetworkingStats), MapError> {
-    assert!(state.is_complete(), "networking requires a complete assignment");
+    assert!(
+        state.is_complete(),
+        "networking requires a complete assignment"
+    );
     let venv = state.venv();
     let phys = state.phys();
     let mut routes = vec![Route::intra_host(); venv.link_count()];
     let mut stats = NetworkingStats::default();
 
-    let MapCache { topo, scratch, .. } = cache;
+    let MapCache {
+        topo,
+        scratch,
+        trace,
+        ..
+    } = cache;
     topo.prepare(phys);
     let runs_before = topo.dijkstra_runs();
     let hits_before = topo.hits();
@@ -78,6 +88,9 @@ pub fn networking_stage_with(
         let hd = state.host_of(vd).expect("assignment complete");
         if hs == hd {
             stats.intra_host_links += 1;
+            trace.emit(|| TraceEvent::LinkIntraHost {
+                link: l.index() as u64,
+            });
             continue; // routes[l] stays intra-host
         }
         let spec = *venv.link(l);
@@ -94,10 +107,23 @@ pub fn networking_stage_with(
             csr,
             scratch,
         ) else {
+            // The diagnosis (Dijkstra + max-flow) is expensive, so it runs
+            // only when someone is listening.
+            if trace.is_enabled() {
+                let verdict = diagnose_route(phys, state.residual(), hs, hd, &spec);
+                trace.emit(|| TraceEvent::LinkFailed {
+                    link: l.index() as u64,
+                    verdict: (&verdict).into(),
+                });
+            }
             return Err(MapError::NetworkingFailed { link: l });
         };
         stats.search.expanded += search.expanded;
         stats.search.pushed += search.pushed;
+        trace.emit(|| TraceEvent::LinkRouted {
+            link: l.index() as u64,
+            hops: edges.len() as u64,
+        });
         state.residual_mut().commit_route(&edges, spec.bw);
         routes[l.index()] = Route::new(edges);
         stats.routed_links += 1;
@@ -145,8 +171,7 @@ mod tests {
         st.assign(b, phys.hosts()[0]).unwrap();
         st.assign(c, phys.hosts()[2]).unwrap();
         let (routes, stats) =
-            networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default())
-                .unwrap();
+            networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default()).unwrap();
         assert_eq!(stats.intra_host_links, 1);
         assert_eq!(stats.routed_links, 1);
         assert!(routes[0].is_intra_host());
@@ -200,8 +225,7 @@ mod tests {
         st.assign(a, phys.hosts()[0]).unwrap();
         st.assign(b, phys.hosts()[2]).unwrap();
         let (routes, _) =
-            networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default())
-                .unwrap();
+            networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default()).unwrap();
         // Each side of the ring carries one link (80+60 > 100 rules out
         // sharing).
         let h: std::collections::HashSet<_> = routes[heavy.index()].edges().iter().collect();
@@ -225,8 +249,7 @@ mod tests {
             st.assign(gg, phys.hosts()[i]).unwrap();
         }
         let (_, stats) =
-            networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default())
-                .unwrap();
+            networking_stage(&mut st, &links_by_descending_bw(&venv), &Default::default()).unwrap();
         // Destination host is the same for all three links (undirected
         // edges: endpoint order from add_link is preserved, so hd is
         // guest 3's host every time).

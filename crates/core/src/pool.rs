@@ -30,12 +30,23 @@ impl HeuristicPool {
     /// A pool over `members` (preference order matters for
     /// [`PoolPolicy::FirstSuccess`]).
     pub fn new(members: Vec<Box<dyn Mapper>>, policy: PoolPolicy) -> Self {
-        assert!(!members.is_empty(), "a heuristic pool needs at least one member");
+        assert!(
+            !members.is_empty(),
+            "a heuristic pool needs at least one member"
+        );
         let name = format!(
             "pool[{}]",
-            members.iter().map(|m| m.name()).collect::<Vec<_>>().join("+")
+            members
+                .iter()
+                .map(|m| m.name())
+                .collect::<Vec<_>>()
+                .join("+")
         );
-        HeuristicPool { name, members, policy }
+        HeuristicPool {
+            name,
+            members,
+            policy,
+        }
     }
 
     /// Member names in order.
@@ -108,7 +119,9 @@ mod tests {
             _venv: &VirtualEnvironment,
             _rng: &mut dyn RngCore,
         ) -> Result<MapOutcome, MapError> {
-            Err(MapError::HostingFailed { guest: GuestId::from_index(0) })
+            Err(MapError::HostingFailed {
+                guest: GuestId::from_index(0),
+            })
         }
     }
 
@@ -161,7 +174,9 @@ mod tests {
             vec![Box::new(AlwaysFails), Box::new(FixedHost(0))],
             PoolPolicy::FirstSuccess,
         );
-        let out = pool.map(&phys, &venv, &mut rand::rngs::mock::StepRng::new(0, 1)).unwrap();
+        let out = pool
+            .map(&phys, &venv, &mut rand::rngs::mock::StepRng::new(0, 1))
+            .unwrap();
         assert_eq!(out.mapping.hosts_used(), 1);
         assert_eq!(pool.name(), "pool[fail+fixed]");
     }
@@ -176,7 +191,9 @@ mod tests {
             vec![Box::new(FixedHost(0)), Box::new(FixedHost(1))],
             PoolPolicy::BestObjective,
         );
-        let out = pool.map(&phys, &venv, &mut rand::rngs::mock::StepRng::new(0, 1)).unwrap();
+        let out = pool
+            .map(&phys, &venv, &mut rand::rngs::mock::StepRng::new(0, 1))
+            .unwrap();
         assert_eq!(out.objective, 0.0);
         assert_eq!(out.mapping.host_of(GuestId::from_index(0)), phys.hosts()[1]);
     }

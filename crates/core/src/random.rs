@@ -34,9 +34,19 @@ use crate::networking::networking_stage_with;
 use crate::state::PlacementState;
 use emumap_graph::NodeId;
 use emumap_model::{Mapping, PhysicalTopology, Route, VirtualEnvironment};
+use emumap_trace::{LinkVerdict, Phase, PhaseCounters, TraceEvent};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
 use std::time::Instant;
+
+/// Emits the `MapStart` event shared by all three baselines.
+fn emit_map_start(cache: &mut MapCache, name: &str, venv: &VirtualEnvironment) {
+    cache.trace.emit(|| TraceEvent::MapStart {
+        mapper: name.to_string(),
+        guests: venv.guest_count() as u64,
+        links: venv.link_count() as u64,
+    });
+}
 
 /// Default complete-attempt budget for the retrying baselines (see module
 /// docs for why this is not the paper's literal 100 000).
@@ -44,10 +54,7 @@ pub const DEFAULT_MAX_ATTEMPTS: usize = 200;
 
 /// Places every guest on a uniformly random host among those that fit it.
 /// Returns `Err` with the first unplaceable guest.
-fn random_placement(
-    state: &mut PlacementState<'_>,
-    rng: &mut dyn RngCore,
-) -> Result<(), MapError> {
+fn random_placement(state: &mut PlacementState<'_>, rng: &mut dyn RngCore) -> Result<(), MapError> {
     let venv = state.venv();
     let hosts: Vec<NodeId> = state.phys().hosts().to_vec();
     let mut candidates: Vec<NodeId> = Vec::with_capacity(hosts.len());
@@ -84,7 +91,9 @@ fn dfs_routing(
     let mut committed: Vec<(Vec<emumap_graph::EdgeId>, emumap_model::Kbps)> = Vec::new();
     let mut routed = 0;
     let mut intra = 0;
-    let MapCache { topo, dfs, .. } = cache;
+    let MapCache {
+        topo, dfs, trace, ..
+    } = cache;
     topo.prepare(phys);
 
     for l in order {
@@ -93,6 +102,9 @@ fn dfs_routing(
         let hd = state.host_of(vd).expect("complete");
         if hs == hd {
             intra += 1;
+            trace.emit(|| TraceEvent::LinkIntraHost {
+                link: l.index() as u64,
+            });
             continue;
         }
         let spec = *venv.link(l);
@@ -109,12 +121,24 @@ fn dfs_routing(
             dfs,
         ) {
             Some(edges) => {
+                trace.emit(|| TraceEvent::LinkRouted {
+                    link: l.index() as u64,
+                    hops: edges.len() as u64,
+                });
                 state.residual_mut().commit_route(&edges, spec.bw);
                 committed.push((edges.clone(), spec.bw));
                 routes[l.index()] = Route::new(edges);
                 routed += 1;
             }
             None => {
+                // A DFS miss is no infeasibility proof (the walk is
+                // heuristic), and the baselines retry hundreds of times —
+                // running the max-flow diagnosis per miss would swamp the
+                // trace, so the verdict is always `PossiblyRoutable` here.
+                trace.emit(|| TraceEvent::LinkFailed {
+                    link: l.index() as u64,
+                    verdict: LinkVerdict::PossiblyRoutable,
+                });
                 for (edges, bw) in committed {
                     state.residual_mut().release_route(&edges, bw);
                 }
@@ -134,7 +158,9 @@ pub struct RandomDfs {
 
 impl Default for RandomDfs {
     fn default() -> Self {
-        RandomDfs { max_attempts: DEFAULT_MAX_ATTEMPTS }
+        RandomDfs {
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+        }
     }
 }
 
@@ -163,6 +189,8 @@ impl Mapper for RandomDfs {
         let runs_before = cache.topo.dijkstra_runs();
         let hits_before = cache.topo.hits();
         let reuses_before = cache.dfs.reuses();
+        let backtracks_before = cache.dfs.backtracks();
+        emit_map_start(cache, "R", venv);
         let mut state = PlacementState::new(phys, venv);
         for attempt in 1..=self.max_attempts {
             state.reset();
@@ -178,6 +206,7 @@ impl Mapper for RandomDfs {
                         attempts: attempt,
                         routed_links: routed,
                         intra_host_links: intra,
+                        dfs_backtracks: cache.dfs.backtracks() - backtracks_before,
                         hop_tables: cache.topo.dijkstra_runs() - runs_before,
                         ar_cache_hits: cache.topo.hits() - hits_before,
                         scratch_reuses: cache.dfs.reuses() - reuses_before,
@@ -187,12 +216,25 @@ impl Mapper for RandomDfs {
                         ..Default::default()
                     };
                     let mapping = Mapping::new(state.into_placement(), routes);
-                    return Ok(MapOutcome::new(phys, venv, mapping, stats));
+                    let outcome = MapOutcome::new(phys, venv, mapping, stats);
+                    cache.trace.emit(|| TraceEvent::MapEnd {
+                        ok: true,
+                        objective: Some(outcome.objective),
+                        elapsed_us: crate::hmn::elapsed_us(start),
+                    });
+                    return Ok(outcome);
                 }
                 Err(_) => continue,
             }
         }
-        Err(MapError::RetriesExhausted { attempts: self.max_attempts })
+        cache.trace.emit(|| TraceEvent::MapEnd {
+            ok: false,
+            objective: None,
+            elapsed_us: crate::hmn::elapsed_us(start),
+        });
+        Err(MapError::RetriesExhausted {
+            attempts: self.max_attempts,
+        })
     }
 }
 
@@ -239,6 +281,7 @@ impl Mapper for RandomAStar {
         let runs_before = cache.topo.dijkstra_runs();
         let hits_before = cache.topo.hits();
         let reuses_before = cache.scratch.reuses();
+        emit_map_start(cache, "RA", venv);
         let links = links_by_descending_bw(venv);
         let mut state = PlacementState::new(phys, venv);
         for attempt in 1..=self.max_attempts {
@@ -266,12 +309,25 @@ impl Mapper for RandomAStar {
                         ..Default::default()
                     };
                     let mapping = Mapping::new(state.into_placement(), routes);
-                    return Ok(MapOutcome::new(phys, venv, mapping, stats));
+                    let outcome = MapOutcome::new(phys, venv, mapping, stats);
+                    cache.trace.emit(|| TraceEvent::MapEnd {
+                        ok: true,
+                        objective: Some(outcome.objective),
+                        elapsed_us: crate::hmn::elapsed_us(start),
+                    });
+                    return Ok(outcome);
                 }
                 Err(_) => continue,
             }
         }
-        Err(MapError::RetriesExhausted { attempts: self.max_attempts })
+        cache.trace.emit(|| TraceEvent::MapEnd {
+            ok: false,
+            objective: None,
+            elapsed_us: crate::hmn::elapsed_us(start),
+        });
+        Err(MapError::RetriesExhausted {
+            attempts: self.max_attempts,
+        })
     }
 }
 
@@ -284,7 +340,9 @@ pub struct HostingDfs {
 
 impl Default for HostingDfs {
     fn default() -> Self {
-        HostingDfs { max_attempts: DEFAULT_MAX_ATTEMPTS }
+        HostingDfs {
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+        }
     }
 }
 
@@ -313,11 +371,35 @@ impl Mapper for HostingDfs {
         let runs_before = cache.topo.dijkstra_runs();
         let hits_before = cache.topo.hits();
         let reuses_before = cache.dfs.reuses();
+        let backtracks_before = cache.dfs.backtracks();
+        emit_map_start(cache, "HS", venv);
         let links = links_by_descending_bw(venv);
         let mut state = PlacementState::new(phys, venv);
+        cache.trace.emit(|| TraceEvent::PhaseStart {
+            phase: Phase::Hosting,
+        });
         let t_place = Instant::now();
-        hosting_stage(&mut state, &links)?;
+        let hosting = match hosting_stage(&mut state, &links) {
+            Ok(h) => h,
+            Err(e) => {
+                cache.trace.emit(|| TraceEvent::MapEnd {
+                    ok: false,
+                    objective: None,
+                    elapsed_us: crate::hmn::elapsed_us(start),
+                });
+                return Err(e);
+            }
+        };
         let placement_time = t_place.elapsed();
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Hosting,
+            elapsed_us: crate::hmn::elapsed_us(t_place),
+            counters: PhaseCounters {
+                colocation_hits: hosting.colocation_hits as u64,
+                first_fit_fallbacks: hosting.first_fit_fallbacks as u64,
+                ..Default::default()
+            },
+        });
 
         let t_route = Instant::now();
         for attempt in 1..=self.max_attempts {
@@ -325,8 +407,11 @@ impl Mapper for HostingDfs {
                 Ok((routes, routed, intra)) => {
                     let stats = MapStats {
                         attempts: attempt,
+                        colocation_hits: hosting.colocation_hits,
+                        first_fit_fallbacks: hosting.first_fit_fallbacks,
                         routed_links: routed,
                         intra_host_links: intra,
+                        dfs_backtracks: cache.dfs.backtracks() - backtracks_before,
                         hop_tables: cache.topo.dijkstra_runs() - runs_before,
                         ar_cache_hits: cache.topo.hits() - hits_before,
                         scratch_reuses: cache.dfs.reuses() - reuses_before,
@@ -336,12 +421,25 @@ impl Mapper for HostingDfs {
                         ..Default::default()
                     };
                     let mapping = Mapping::new(state.into_placement(), routes);
-                    return Ok(MapOutcome::new(phys, venv, mapping, stats));
+                    let outcome = MapOutcome::new(phys, venv, mapping, stats);
+                    cache.trace.emit(|| TraceEvent::MapEnd {
+                        ok: true,
+                        objective: Some(outcome.objective),
+                        elapsed_us: crate::hmn::elapsed_us(start),
+                    });
+                    return Ok(outcome);
                 }
                 Err(_) => continue, // dfs_routing released its commitments
             }
         }
-        Err(MapError::RetriesExhausted { attempts: self.max_attempts })
+        cache.trace.emit(|| TraceEvent::MapEnd {
+            ok: false,
+            objective: None,
+            elapsed_us: crate::hmn::elapsed_us(start),
+        });
+        Err(MapError::RetriesExhausted {
+            attempts: self.max_attempts,
+        })
     }
 }
 
@@ -359,7 +457,11 @@ mod tests {
     fn phys() -> PhysicalTopology {
         PhysicalTopology::from_shape(
             &generators::torus2d(3, 4),
-            std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(2000.0))),
+            std::iter::repeat(HostSpec::new(
+                Mips(2000.0),
+                MemMb::from_gb(2),
+                StorGb(2000.0),
+            )),
             LinkSpec::new(Kbps::from_gbps(1.0), Millis(5.0)),
             VmmOverhead::NONE,
         )
@@ -444,7 +546,10 @@ mod tests {
                 assert_eq!(cold.objective.to_bits(), warm.objective.to_bits());
             }
         }
-        assert!(cache.topo.hits() > 0, "second rounds must hit the shared tables");
+        assert!(
+            cache.topo.hits() > 0,
+            "second rounds must hit the shared tables"
+        );
     }
 
     #[test]
@@ -512,9 +617,12 @@ mod tests {
             );
         }
         for seed in 0..10 {
-            if let Ok(out) = HostingDfs::default().map(&p, &v, &mut SmallRng::seed_from_u64(seed))
-            {
-                assert_eq!(validate_mapping(&p, &v, &out.mapping), Ok(()), "seed {seed}");
+            if let Ok(out) = HostingDfs::default().map(&p, &v, &mut SmallRng::seed_from_u64(seed)) {
+                assert_eq!(
+                    validate_mapping(&p, &v, &out.mapping),
+                    Ok(()),
+                    "seed {seed}"
+                );
             }
         }
     }

@@ -91,7 +91,8 @@ impl<'a> PlacementState<'a> {
             self.assignment[guest.index()].is_none(),
             "guest {guest} is already assigned"
         );
-        self.residual.place(self.phys, self.venv.guest(guest), host)?;
+        self.residual
+            .place(self.phys, self.venv.guest(guest), host)?;
         self.assignment[guest.index()] = Some(host);
         self.guests_on[host.index()].push(guest);
         self.assigned += 1;
@@ -108,7 +109,10 @@ impl<'a> PlacementState<'a> {
             .unwrap_or_else(|| panic!("guest {guest} is not assigned"));
         self.residual.remove(self.venv.guest(guest), host);
         let list = &mut self.guests_on[host.index()];
-        let pos = list.iter().position(|&g| g == guest).expect("inverse index consistent");
+        let pos = list
+            .iter()
+            .position(|&g| g == guest)
+            .expect("inverse index consistent");
         list.swap_remove(pos);
         self.assigned -= 1;
     }
@@ -275,7 +279,11 @@ mod tests {
         assert_eq!(st.residual().proc(h[1]), Mips(1900.0));
         // h[2] has only 512 MB; guest a needs 600 MB.
         assert!(st.migrate(a, h[2]).is_err());
-        assert_eq!(st.host_of(a), Some(h[1]), "failed migration must not move the guest");
+        assert_eq!(
+            st.host_of(a),
+            Some(h[1]),
+            "failed migration must not move the guest"
+        );
     }
 
     #[test]

@@ -65,7 +65,17 @@ fn enumerate_paths(
     }
     let mut on_path = vec![from];
     let mut edges = Vec::new();
-    rec(phys, residual, from, to, &mut on_path, &mut edges, 0.0, f64::INFINITY, visit);
+    rec(
+        phys,
+        residual,
+        from,
+        to,
+        &mut on_path,
+        &mut edges,
+        0.0,
+        f64::INFINITY,
+        visit,
+    );
 }
 
 fn random_phys(n: usize, density: f64, seed: u64) -> (PhysicalTopology, ResidualState) {
@@ -73,7 +83,11 @@ fn random_phys(n: usize, density: f64, seed: u64) -> (PhysicalTopology, Residual
     let shape = random_connected(n, density, &mut rng);
     let mut g: Graph<PhysNode, LinkSpec> = Graph::new();
     for _ in 0..shape.node_count() {
-        g.add_node(PhysNode::Host(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))));
+        g.add_node(PhysNode::Host(HostSpec::new(
+            Mips(1000.0),
+            MemMb(1024),
+            StorGb(100.0),
+        )));
     }
     for e in shape.edges() {
         g.add_edge(

@@ -1,0 +1,286 @@
+//! Contract tests for the observability layer: the trace is a *passive*
+//! observer of the pipeline.
+//!
+//! Two properties matter. First, attaching a sink must not change any
+//! mapping outcome (the tracer is not allowed to influence decisions).
+//! Second, the *decision* content of a trace must be deterministic: two
+//! runs that differ only in cache warmth must emit identical event
+//! sequences once the volatile fields (wall-clock timings and
+//! cache-warmth counters) are redacted.
+
+use emumap_core::{Hmn, MapCache, Mapper};
+use emumap_trace::{EventSink, Phase, TraceEvent, Tracer};
+use emumap_workloads::{instantiate, ClusterSpec, Scenario, WorkloadKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+/// Sink that shares its event log with the test through an `Arc`, since a
+/// boxed `dyn EventSink` cannot be inspected after `Tracer::take_sink`.
+struct VecSink(Arc<Mutex<Vec<TraceEvent>>>);
+
+impl EventSink for VecSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.0.lock().unwrap().push(event);
+    }
+}
+
+fn shared_sink() -> (Arc<Mutex<Vec<TraceEvent>>>, Tracer) {
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let tracer = Tracer::new(Box::new(VecSink(Arc::clone(&events))));
+    (events, tracer)
+}
+
+fn paper_instance() -> (
+    emumap_model::PhysicalTopology,
+    emumap_model::VirtualEnvironment,
+) {
+    let scenario = Scenario {
+        ratio: 2.5,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
+    let inst = instantiate(
+        &ClusterSpec::paper(),
+        ClusterSpec::paper_torus(),
+        &scenario,
+        0,
+        2009,
+    );
+    (inst.phys, inst.venv)
+}
+
+#[test]
+fn warm_and_cold_caches_emit_identical_redacted_event_sequences() {
+    let (phys, venv) = paper_instance();
+    let mapper = Hmn::new();
+    let mut cache = MapCache::new();
+
+    // Cold: first run on a fresh cache computes every Dijkstra table.
+    let (cold_events, tracer) = shared_sink();
+    cache.trace = tracer;
+    let cold = mapper
+        .map_with_cache(&phys, &venv, &mut SmallRng::seed_from_u64(1), &mut cache)
+        .expect("cold map");
+
+    // Warm: same trial again on the now-populated cache.
+    let (warm_events, tracer) = shared_sink();
+    cache.trace = tracer;
+    let warm = mapper
+        .map_with_cache(&phys, &venv, &mut SmallRng::seed_from_u64(1), &mut cache)
+        .expect("warm map");
+
+    assert_eq!(
+        cold.mapping, warm.mapping,
+        "cache must be semantically invisible"
+    );
+
+    let cold_events = cold_events.lock().unwrap();
+    let warm_events = warm_events.lock().unwrap();
+    // The raw sequences differ (the warm run answers `ar[]` lookups from
+    // the cache, and every timing is wall-clock); the redacted sequences
+    // must not.
+    let redact = |events: &[TraceEvent]| -> Vec<TraceEvent> {
+        events.iter().map(TraceEvent::redact_volatile).collect()
+    };
+    assert_eq!(redact(&cold_events), redact(&warm_events));
+
+    // Sanity: the redaction is doing real work — cache warmth is visible
+    // in the un-redacted Networking span.
+    let networking_counters = |events: &[TraceEvent]| {
+        events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::PhaseEnd {
+                    phase: Phase::Networking,
+                    counters,
+                    ..
+                } => Some(*counters),
+                _ => None,
+            })
+            .expect("networking span")
+    };
+    let cold_net = networking_counters(&cold_events);
+    let warm_net = networking_counters(&warm_events);
+    assert!(cold_net.dijkstra_runs > 0, "cold run computes tables");
+    assert!(
+        warm_net.cache_hits > cold_net.cache_hits,
+        "warm run answers more lookups from the cache ({} vs {})",
+        warm_net.cache_hits,
+        cold_net.cache_hits
+    );
+}
+
+#[test]
+fn attaching_a_sink_does_not_change_the_outcome() {
+    let (phys, venv) = paper_instance();
+    let mapper = Hmn::new();
+
+    let untraced = mapper
+        .map_with_cache(
+            &phys,
+            &venv,
+            &mut SmallRng::seed_from_u64(3),
+            &mut MapCache::new(),
+        )
+        .expect("untraced map");
+
+    let mut cache = MapCache::new();
+    let (events, tracer) = shared_sink();
+    cache.trace = tracer;
+    let traced = mapper
+        .map_with_cache(&phys, &venv, &mut SmallRng::seed_from_u64(3), &mut cache)
+        .expect("traced map");
+
+    assert_eq!(untraced.mapping, traced.mapping);
+    assert_eq!(untraced.objective, traced.objective);
+    assert!(
+        !events.lock().unwrap().is_empty(),
+        "the traced run did emit"
+    );
+}
+
+#[test]
+fn hmn_trace_has_all_three_phase_spans_and_per_link_outcomes() {
+    let (phys, venv) = paper_instance();
+    let mut cache = MapCache::new();
+    let (events, tracer) = shared_sink();
+    cache.trace = tracer;
+    let outcome = Hmn::new()
+        .map_with_cache(&phys, &venv, &mut SmallRng::seed_from_u64(5), &mut cache)
+        .expect("map");
+
+    let events = events.lock().unwrap();
+    assert!(matches!(events.first(), Some(TraceEvent::MapStart { .. })));
+    assert!(matches!(
+        events.last(),
+        Some(TraceEvent::MapEnd {
+            ok: true,
+            objective: Some(_),
+            ..
+        })
+    ));
+
+    // Spans open and close in pipeline order.
+    let spans: Vec<(bool, Phase)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::PhaseStart { phase } => Some((true, *phase)),
+            TraceEvent::PhaseEnd { phase, .. } => Some((false, *phase)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        spans,
+        vec![
+            (true, Phase::Hosting),
+            (false, Phase::Hosting),
+            (true, Phase::Migration),
+            (false, Phase::Migration),
+            (true, Phase::Networking),
+            (false, Phase::Networking),
+        ]
+    );
+
+    // Per-link events reconcile with the run's statistics.
+    let routed = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::LinkRouted { .. }))
+        .count();
+    let intra = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::LinkIntraHost { .. }))
+        .count();
+    assert_eq!(routed, outcome.stats.routed_links);
+    assert_eq!(intra, outcome.stats.intra_host_links);
+    assert_eq!(routed + intra, venv.link_count());
+
+    // Phase counters reconcile with the run's statistics too.
+    for e in events.iter() {
+        match e {
+            TraceEvent::PhaseEnd {
+                phase: Phase::Hosting,
+                counters,
+                ..
+            } => {
+                assert_eq!(
+                    counters.colocation_hits,
+                    outcome.stats.colocation_hits as u64
+                );
+                assert_eq!(
+                    counters.first_fit_fallbacks,
+                    outcome.stats.first_fit_fallbacks as u64
+                );
+            }
+            TraceEvent::PhaseEnd {
+                phase: Phase::Migration,
+                counters,
+                ..
+            } => {
+                assert_eq!(counters.moves_accepted, outcome.stats.migrations as u64);
+                assert_eq!(
+                    counters.moves_rejected,
+                    outcome.stats.migrations_rejected as u64
+                );
+            }
+            TraceEvent::PhaseEnd {
+                phase: Phase::Networking,
+                counters,
+                ..
+            } => {
+                assert_eq!(
+                    counters.astar_expansions,
+                    outcome.stats.astar_expansions as u64
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn every_traced_mapper_brackets_its_run_with_map_start_and_end() {
+    use emumap_core::{
+        Annealing, BestFit, FirstFitDecreasing, HmnKsp, HostingDfs, RandomAStar, RandomDfs,
+        WorstFit,
+    };
+    let (phys, venv) = paper_instance();
+    let mappers: Vec<Box<dyn Mapper>> = vec![
+        Box::new(Hmn::new()),
+        Box::new(HmnKsp::default()),
+        Box::new(RandomDfs { max_attempts: 200 }),
+        Box::new(RandomAStar {
+            max_attempts: 200,
+            ..Default::default()
+        }),
+        Box::new(HostingDfs { max_attempts: 200 }),
+        Box::new(FirstFitDecreasing::default()),
+        Box::new(BestFit::default()),
+        Box::new(WorstFit::default()),
+        Box::new(Annealing {
+            config: emumap_core::AnnealingConfig {
+                iterations: 500,
+                ..Default::default()
+            },
+        }),
+    ];
+    for mapper in mappers {
+        let mut cache = MapCache::new();
+        let (events, tracer) = shared_sink();
+        cache.trace = tracer;
+        let result =
+            mapper.map_with_cache(&phys, &venv, &mut SmallRng::seed_from_u64(7), &mut cache);
+        let events = events.lock().unwrap();
+        assert!(
+            matches!(events.first(), Some(TraceEvent::MapStart { .. })),
+            "{} should open with MapStart",
+            mapper.name()
+        );
+        match events.last() {
+            Some(TraceEvent::MapEnd { ok, .. }) => {
+                assert_eq!(*ok, result.is_ok(), "{} MapEnd.ok mismatch", mapper.name())
+            }
+            other => panic!("{} should close with MapEnd, got {other:?}", mapper.name()),
+        }
+    }
+}

@@ -168,7 +168,10 @@ where
 {
     let result = dijkstra(graph, source, cost);
     let d = result.distance(target)?;
-    Some((d, result.path_to(target).expect("reachable target has a path")))
+    Some((
+        d,
+        result.path_to(target).expect("reachable target has a path"),
+    ))
 }
 
 #[cfg(test)]

@@ -85,7 +85,11 @@ where
     }
     nodes.reverse();
     edges.reverse();
-    Some(CostedPath { cost: dist[target.index()], nodes, edges })
+    Some(CostedPath {
+        cost: dist[target.index()],
+        nodes,
+        edges,
+    })
 }
 
 /// Returns up to `k` cheapest simple paths from `source` to `target` in
@@ -144,7 +148,11 @@ where
                 nodes.extend_from_slice(&spur.nodes[1..]);
                 let mut edges = root_edges.to_vec();
                 edges.extend_from_slice(&spur.edges);
-                let total = CostedPath { cost: root_cost + spur.cost, nodes, edges };
+                let total = CostedPath {
+                    cost: root_cost + spur.cost,
+                    nodes,
+                    edges,
+                };
                 if !candidates.contains(&total) && !accepted.contains(&total) {
                     candidates.push(total);
                 }
@@ -263,9 +271,18 @@ mod tests {
     fn costs_are_monotone_on_a_ring() {
         let shape = crate::generators::ring(6);
         let g = shape.map_edges(|_, _| 1.0f64);
-        let paths =
-            k_shortest_paths(&g, NodeId::from_index(0), NodeId::from_index(2), 5, |_, w| *w);
-        assert_eq!(paths.len(), 2, "a ring has exactly two simple paths per pair");
+        let paths = k_shortest_paths(
+            &g,
+            NodeId::from_index(0),
+            NodeId::from_index(2),
+            5,
+            |_, w| *w,
+        );
+        assert_eq!(
+            paths.len(),
+            2,
+            "a ring has exactly two simple paths per pair"
+        );
         assert_eq!(paths[0].cost, 2.0);
         assert_eq!(paths[1].cost, 4.0);
     }

@@ -97,8 +97,14 @@ mod tests {
     #[test]
     fn eccentricity_of_star_center_is_one() {
         let g = generators::star(6).map_edges(|_, _| 1.0f64);
-        assert_eq!(eccentricity(&g, crate::NodeId::from_index(0), |_, w| *w), Some(1.0));
-        assert_eq!(eccentricity(&g, crate::NodeId::from_index(1), |_, w| *w), Some(2.0));
+        assert_eq!(
+            eccentricity(&g, crate::NodeId::from_index(0), |_, w| *w),
+            Some(1.0)
+        );
+        assert_eq!(
+            eccentricity(&g, crate::NodeId::from_index(1), |_, w| *w),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -115,7 +115,10 @@ where
     let mut on_path = vec![false; graph.node_count()];
     let mut cost_so_far = 0.0f64;
     let mut edge_stack: Vec<(EdgeId, f64)> = Vec::new();
-    let mut frames = vec![Frame { node: source, next_neighbor: 0 }];
+    let mut frames = vec![Frame {
+        node: source,
+        next_neighbor: 0,
+    }];
     on_path[source.index()] = true;
 
     while let Some(frame) = frames.last_mut() {
@@ -142,7 +145,10 @@ where
                 return Some((total, edge_stack.into_iter().map(|(e, _)| e).collect()));
             }
             on_path[nb.node.index()] = true;
-            frames.push(Frame { node: nb.node, next_neighbor: 0 });
+            frames.push(Frame {
+                node: nb.node,
+                next_neighbor: 0,
+            });
             advanced = true;
             break;
         }
@@ -269,8 +275,7 @@ mod tests {
         // A 50_000-node path would overflow a recursive DFS; the iterative
         // implementation must handle it.
         let (g, ids) = path_graph(20_000);
-        let found =
-            dfs_path_filtered(&g, ids[0], ids[19_999], f64::INFINITY, |_, w| Some(*w));
+        let found = dfs_path_filtered(&g, ids[0], ids[19_999], f64::INFINITY, |_, w| Some(*w));
         assert_eq!(found.unwrap().1.len(), 19_999);
     }
 }

@@ -19,7 +19,10 @@ pub struct DotOptions {
 
 impl Default for DotOptions {
     fn default() -> Self {
-        DotOptions { name: "emumap".to_string(), graph_attrs: String::new() }
+        DotOptions {
+            name: "emumap".to_string(),
+            graph_attrs: String::new(),
+        }
     }
 }
 
@@ -81,7 +84,12 @@ mod tests {
     #[test]
     fn empty_attrs_render_bare_elements() {
         let g = generators::ring(3);
-        let dot = to_dot(&g, &DotOptions::default(), |_, _| String::new(), |_, _| String::new());
+        let dot = to_dot(
+            &g,
+            &DotOptions::default(),
+            |_, _| String::new(),
+            |_, _| String::new(),
+        );
         assert!(dot.contains("  0;"));
         assert!(dot.contains("0 -- 1;"));
     }
@@ -89,7 +97,10 @@ mod tests {
     #[test]
     fn graph_attrs_and_name_are_emitted() {
         let g = generators::line(2);
-        let opts = DotOptions { name: "cluster".to_string(), graph_attrs: "layout=neato;".to_string() };
+        let opts = DotOptions {
+            name: "cluster".to_string(),
+            graph_attrs: "layout=neato;".to_string(),
+        };
         let dot = to_dot(&g, &opts, |_, _| String::new(), |_, _| String::new());
         assert!(dot.starts_with("graph cluster {"));
         assert!(dot.contains("layout=neato;"));

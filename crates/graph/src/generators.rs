@@ -137,7 +137,10 @@ pub fn torus2d(rows: usize, cols: usize) -> Topology {
 /// Panics if `ports < 3` (a cascade needs at least one host port plus up to
 /// two cascade ports) or `n_hosts == 0`.
 pub fn switched_cascade(n_hosts: usize, ports: usize) -> Topology {
-    assert!(ports >= 3, "cascaded switches need at least 3 ports, got {ports}");
+    assert!(
+        ports >= 3,
+        "cascaded switches need at least 3 ports, got {ports}"
+    );
     assert!(n_hosts > 0, "need at least one host");
     let mut g = Graph::new();
     let hosts: Vec<_> = (0..n_hosts).map(|_| g.add_node(Role::Host)).collect();
@@ -190,7 +193,10 @@ pub fn tree(n: usize, arity: usize) -> Topology {
 /// # Panics
 /// Panics if `k` is odd or `k < 2`.
 pub fn fat_tree(k: usize) -> Topology {
-    assert!(k >= 2 && k.is_multiple_of(2), "fat tree requires even k >= 2, got {k}");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "fat tree requires even k >= 2, got {k}"
+    );
     let half = k / 2;
     let mut g = Graph::new();
 
@@ -234,7 +240,10 @@ pub fn fat_tree(k: usize) -> Topology {
 /// (fraction of the `n(n-1)/2` possible edges), never below the `n - 1`
 /// needed for connectivity.
 pub fn edges_for_density(n: usize, density: f64) -> usize {
-    assert!((0.0..=1.0).contains(&density), "density must be in [0,1], got {density}");
+    assert!(
+        (0.0..=1.0).contains(&density),
+        "density must be in [0,1], got {density}"
+    );
     if n < 2 {
         return 0;
     }
@@ -414,7 +423,10 @@ mod tests {
         let g = switched_cascade(10, 4); // 3 usable host ports per switch
         assert!(is_connected(&g));
         let switches = g.nodes().filter(|(_, r)| **r == Role::Switch).count();
-        assert!(switches >= 3, "10 hosts on 4-port switches need >= 3 switches, got {switches}");
+        assert!(
+            switches >= 3,
+            "10 hosts on 4-port switches need >= 3 switches, got {switches}"
+        );
         // Port budget respected on every switch.
         for (id, role) in g.nodes() {
             if *role == Role::Switch {
@@ -463,7 +475,13 @@ mod tests {
     #[test]
     fn random_connected_meets_contract() {
         let mut rng = SmallRng::seed_from_u64(7);
-        for &(n, d) in &[(2usize, 0.0), (40, 0.1), (100, 0.015), (400, 0.025), (800, 0.01)] {
+        for &(n, d) in &[
+            (2usize, 0.0),
+            (40, 0.1),
+            (100, 0.015),
+            (400, 0.025),
+            (800, 0.01),
+        ] {
             let g = random_connected(n, d, &mut rng);
             assert_eq!(g.node_count(), n);
             assert!(is_connected(&g), "n={n} d={d} disconnected");

@@ -114,7 +114,11 @@ impl<N, E> Default for Graph<N, E> {
 impl<N, E> Graph<N, E> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new(), edges: Vec::new(), adjacency: Vec::new() }
+        Graph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            adjacency: Vec::new(),
+        }
     }
 
     /// Creates an empty graph with capacity reserved for `nodes` nodes and
@@ -140,8 +144,14 @@ impl<N, E> Graph<N, E> {
     /// # Panics
     /// Panics if either endpoint is not a node of this graph.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId, weight: E) -> EdgeId {
-        assert!(a.index() < self.nodes.len(), "edge endpoint {a} out of range");
-        assert!(b.index() < self.nodes.len(), "edge endpoint {b} out of range");
+        assert!(
+            a.index() < self.nodes.len(),
+            "edge endpoint {a} out of range"
+        );
+        assert!(
+            b.index() < self.nodes.len(),
+            "edge endpoint {b} out of range"
+        );
         let id = EdgeId::from_index(self.edges.len());
         self.edges.push(EdgeSlot { a, b, weight });
         self.adjacency[a.index()].push((b, id));
@@ -213,7 +223,12 @@ impl<N, E> Graph<N, E> {
     #[inline]
     pub fn edge_ref(&self, edge: EdgeId) -> EdgeRef<'_, E> {
         let slot = &self.edges[edge.index()];
-        EdgeRef { id: edge, a: slot.a, b: slot.b, weight: &slot.weight }
+        EdgeRef {
+            id: edge,
+            a: slot.a,
+            b: slot.b,
+            weight: &slot.weight,
+        }
     }
 
     /// Iterator over all node ids in insertion order.
@@ -228,7 +243,10 @@ impl<N, E> Graph<N, E> {
 
     /// Iterator over `(id, payload)` for all nodes.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = (NodeId, &N)> {
-        self.nodes.iter().enumerate().map(|(i, w)| (NodeId::from_index(i), w))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (NodeId::from_index(i), w))
     }
 
     /// Iterator over borrowed edge views.

@@ -215,7 +215,11 @@ mod tests {
         let e: Vec<_> = phys.graph().edge_ids().collect();
         let m = Mapping::new(
             vec![phys.hosts()[0], phys.hosts()[1]],
-            vec![Route::intra_host(), Route::new(vec![e[0]]), Route::intra_host()],
+            vec![
+                Route::intra_host(),
+                Route::new(vec![e[0]]),
+                Route::intra_host(),
+            ],
         );
         assert_eq!(m.intra_host_link_count(), 2);
         assert_eq!(m.routed_link_count(), 1);

@@ -58,7 +58,10 @@ pub fn mapping_objective(
     for g in venv.guest_ids() {
         let host = mapping.host_of(g);
         let idx = host_index[host.index()];
-        assert!(idx != usize::MAX, "guest {g} mapped to non-host node {host}");
+        assert!(
+            idx != usize::MAX,
+            "guest {g} mapped to non-host node {host}"
+        );
         rproc[idx] -= venv.guest(g).proc.value();
     }
     population_stddev(&rproc)
@@ -134,11 +137,14 @@ mod tests {
         let (phys, venv) = tiny_setup();
         let h = phys.hosts();
         let mut residual = crate::ResidualState::new(&phys);
-        residual.place(&phys, venv.guest(emumap_graph::NodeId::from_index(0)), h[0]).unwrap();
-        residual.place(&phys, venv.guest(emumap_graph::NodeId::from_index(1)), h[1]).unwrap();
+        residual
+            .place(&phys, venv.guest(emumap_graph::NodeId::from_index(0)), h[0])
+            .unwrap();
+        residual
+            .place(&phys, venv.guest(emumap_graph::NodeId::from_index(1)), h[1])
+            .unwrap();
         let via_residual = load_balance_factor(&phys, &residual);
-        let via_mapping =
-            mapping_objective(&phys, &venv, &Mapping::new(vec![h[0], h[1]], vec![]));
+        let via_mapping = mapping_objective(&phys, &venv, &Mapping::new(vec![h[0], h[1]], vec![]));
         assert!((via_residual - via_mapping).abs() < 1e-12);
     }
 

@@ -42,7 +42,11 @@ pub struct VmmOverhead {
 impl VmmOverhead {
     /// No overhead (the Table 1 setup does not state one; the harness uses
     /// this default so capacities match the paper's ranges exactly).
-    pub const NONE: VmmOverhead = VmmOverhead { proc: Mips(0.0), mem: MemMb(0), stor: StorGb(0.0) };
+    pub const NONE: VmmOverhead = VmmOverhead {
+        proc: Mips(0.0),
+        mem: MemMb(0),
+        stor: StorGb(0.0),
+    };
 }
 
 /// A node of the physical network.
@@ -105,7 +109,12 @@ impl PhysicalTopology {
     ///
     /// # Panics
     /// Panics if `host_specs` runs out before every host is decorated.
-    pub fn from_shape<I>(shape: &Topology, mut host_specs: I, link: LinkSpec, vmm: VmmOverhead) -> Self
+    pub fn from_shape<I>(
+        shape: &Topology,
+        mut host_specs: I,
+        link: LinkSpec,
+        vmm: VmmOverhead,
+    ) -> Self
     where
         I: Iterator<Item = HostSpec>,
     {
@@ -278,7 +287,11 @@ mod tests {
     #[test]
     fn vmm_overhead_is_deducted() {
         let shape = generators::ring(3);
-        let vmm = VmmOverhead { proc: Mips(100.0), mem: MemMb(256), stor: StorGb(10.0) };
+        let vmm = VmmOverhead {
+            proc: Mips(100.0),
+            mem: MemMb(256),
+            stor: StorGb(10.0),
+        };
         let phys = PhysicalTopology::from_shape(
             &shape,
             std::iter::repeat(uniform_spec()),

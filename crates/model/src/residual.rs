@@ -74,7 +74,12 @@ impl ResidualState {
             .edge_ids()
             .map(|e| phys.link(e).bw.value())
             .collect();
-        ResidualState { proc, mem, stor, bw }
+        ResidualState {
+            proc,
+            mem,
+            stor,
+            bw,
+        }
     }
 
     /// Residual CPU of a node (negative = oversubscribed, which is legal).

@@ -109,35 +109,72 @@ impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Violation::PlacementSizeMismatch { expected, actual } => {
-                write!(f, "placement covers {actual} guests, environment has {expected}")
+                write!(
+                    f,
+                    "placement covers {actual} guests, environment has {expected}"
+                )
             }
             Violation::MappedToNonHost { guest, node } => {
                 write!(f, "guest {guest} mapped to non-host node {node}")
             }
-            Violation::MemoryExceeded { host, demanded, capacity } => {
-                write!(f, "host {host}: memory {demanded} MB demanded > {capacity} MB capacity")
+            Violation::MemoryExceeded {
+                host,
+                demanded,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "host {host}: memory {demanded} MB demanded > {capacity} MB capacity"
+                )
             }
-            Violation::StorageExceeded { host, demanded, capacity } => {
-                write!(f, "host {host}: storage {demanded} GB demanded > {capacity} GB capacity")
+            Violation::StorageExceeded {
+                host,
+                demanded,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "host {host}: storage {demanded} GB demanded > {capacity} GB capacity"
+                )
             }
             Violation::RouteTableSizeMismatch { expected, actual } => {
-                write!(f, "route table covers {actual} links, environment has {expected}")
+                write!(
+                    f,
+                    "route table covers {actual} links, environment has {expected}"
+                )
             }
             Violation::IntraHostMismatch { link } => {
                 write!(f, "link {link}: intra-host route shape mismatch")
             }
             Violation::RouteDiscontinuous { link } => {
-                write!(f, "link {link}: route edges do not chain from the source host")
+                write!(
+                    f,
+                    "link {link}: route edges do not chain from the source host"
+                )
             }
-            Violation::RouteWrongDestination { link, ended_at, expected } => {
-                write!(f, "link {link}: route ends at {ended_at}, expected {expected}")
+            Violation::RouteWrongDestination {
+                link,
+                ended_at,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "link {link}: route ends at {ended_at}, expected {expected}"
+                )
             }
             Violation::RouteHasLoop { link } => write!(f, "link {link}: route revisits a node"),
             Violation::LatencyExceeded { link, total, bound } => {
                 write!(f, "link {link}: latency {total} ms > bound {bound} ms")
             }
-            Violation::BandwidthExceeded { edge, demanded, capacity } => {
-                write!(f, "edge {edge}: bandwidth {demanded} kbps demanded > {capacity} kbps")
+            Violation::BandwidthExceeded {
+                edge,
+                demanded,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "edge {edge}: bandwidth {demanded} kbps demanded > {capacity} kbps"
+                )
             }
         }
     }
@@ -165,7 +202,10 @@ pub fn validate_mapping(
 
     for (guest_idx, &node) in mapping.placement().iter().enumerate() {
         if !phys.graph().contains_node(node) || !phys.is_host(node) {
-            violations.push(Violation::MappedToNonHost { guest: guest_idx, node });
+            violations.push(Violation::MappedToNonHost {
+                guest: guest_idx,
+                node,
+            });
         }
     }
     if !violations.is_empty() {
@@ -183,13 +223,21 @@ pub fn validate_mapping(
     for (&host, &demanded) in &mem_demand {
         let capacity = phys.effective_mem(host).value();
         if demanded > capacity {
-            violations.push(Violation::MemoryExceeded { host, demanded, capacity });
+            violations.push(Violation::MemoryExceeded {
+                host,
+                demanded,
+                capacity,
+            });
         }
     }
     for (&host, &demanded) in &stor_demand {
         let capacity = phys.effective_stor(host).value();
         if demanded > capacity + 1e-9 {
-            violations.push(Violation::StorageExceeded { host, demanded, capacity });
+            violations.push(Violation::StorageExceeded {
+                host,
+                demanded,
+                capacity,
+            });
         }
     }
 
@@ -231,7 +279,11 @@ pub fn validate_mapping(
         // Eq. 5: end at the destination host.
         let last = *seq.last().expect("sequence contains at least the start");
         if last != hd {
-            violations.push(Violation::RouteWrongDestination { link: l, ended_at: last, expected: hd });
+            violations.push(Violation::RouteWrongDestination {
+                link: l,
+                ended_at: last,
+                expected: hd,
+            });
         }
         // Eq. 7: no loops.
         let mut sorted = seq.clone();
@@ -241,7 +293,11 @@ pub fn validate_mapping(
             violations.push(Violation::RouteHasLoop { link: l });
         }
         // Eq. 8: latency bound.
-        let total_lat: f64 = route.edges().iter().map(|&e| phys.link(e).lat.value()).sum();
+        let total_lat: f64 = route
+            .edges()
+            .iter()
+            .map(|&e| phys.link(e).lat.value())
+            .sum();
         if total_lat > spec.lat.value() + 1e-9 {
             violations.push(Violation::LatencyExceeded {
                 link: l,
@@ -258,7 +314,11 @@ pub fn validate_mapping(
     for (&edge, &demanded) in &bw_usage {
         let capacity = phys.link(edge).bw.value();
         if demanded > capacity + 1e-9 {
-            violations.push(Violation::BandwidthExceeded { edge, demanded, capacity });
+            violations.push(Violation::BandwidthExceeded {
+                edge,
+                demanded,
+                capacity,
+            });
         }
     }
 
@@ -300,7 +360,10 @@ mod tests {
         let p = phys_line(2, 1000.0);
         let v = venv_pair(100.0, 10.0);
         let e: Vec<_> = p.graph().edge_ids().collect();
-        let m = Mapping::new(vec![p.hosts()[0], p.hosts()[1]], vec![Route::new(vec![e[0]])]);
+        let m = Mapping::new(
+            vec![p.hosts()[0], p.hosts()[1]],
+            vec![Route::new(vec![e[0]])],
+        );
         assert_eq!(validate_mapping(&p, &v, &m), Ok(()));
     }
 
@@ -320,7 +383,13 @@ mod tests {
         let v = venv_pair(1.0, 100.0);
         let m = Mapping::new(vec![p.hosts()[0]], vec![]);
         let errs = validate_mapping(&p, &v, &m).unwrap_err();
-        assert!(matches!(errs[0], Violation::PlacementSizeMismatch { expected: 2, actual: 1 }));
+        assert!(matches!(
+            errs[0],
+            Violation::PlacementSizeMismatch {
+                expected: 2,
+                actual: 1
+            }
+        ));
     }
 
     #[test]
@@ -333,10 +402,18 @@ mod tests {
             VmmOverhead::NONE,
         );
         let v = venv_pair(1.0, 100.0);
-        let switch = p.graph().nodes().find(|(_, n)| !n.is_host()).map(|(id, _)| id).unwrap();
+        let switch = p
+            .graph()
+            .nodes()
+            .find(|(_, n)| !n.is_host())
+            .map(|(id, _)| id)
+            .unwrap();
         let m = Mapping::new(vec![p.hosts()[0], switch], vec![Route::intra_host()]);
         let errs = validate_mapping(&p, &v, &m).unwrap_err();
-        assert!(matches!(errs[0], Violation::MappedToNonHost { guest: 1, .. }));
+        assert!(matches!(
+            errs[0],
+            Violation::MappedToNonHost { guest: 1, .. }
+        ));
     }
 
     #[test]
@@ -350,7 +427,11 @@ mod tests {
         let errs = validate_mapping(&p, &v, &m).unwrap_err();
         assert!(errs.iter().any(|e| matches!(
             e,
-            Violation::MemoryExceeded { demanded: 1200, capacity: 1024, .. }
+            Violation::MemoryExceeded {
+                demanded: 1200,
+                capacity: 1024,
+                ..
+            }
         )));
     }
 
@@ -363,7 +444,9 @@ mod tests {
         v.add_link(a, b, VLinkSpec::new(Kbps(1.0), Millis(100.0)));
         let m = Mapping::new(vec![p.hosts()[1], p.hosts()[1]], vec![Route::intra_host()]);
         let errs = validate_mapping(&p, &v, &m).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, Violation::StorageExceeded { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, Violation::StorageExceeded { .. })));
     }
 
     #[test]
@@ -372,9 +455,13 @@ mod tests {
         let v = venv_pair(1.0, 100.0);
         let m = Mapping::new(vec![p.hosts()[0], p.hosts()[1]], vec![]);
         let errs = validate_mapping(&p, &v, &m).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, Violation::RouteTableSizeMismatch { expected: 1, actual: 0 })));
+        assert!(errs.iter().any(|e| matches!(
+            e,
+            Violation::RouteTableSizeMismatch {
+                expected: 1,
+                actual: 0
+            }
+        )));
     }
 
     #[test]
@@ -383,7 +470,10 @@ mod tests {
         let v = venv_pair(1.0, 100.0);
         let e: Vec<_> = p.graph().edge_ids().collect();
         // Co-hosted guests with a non-empty route.
-        let m = Mapping::new(vec![p.hosts()[0], p.hosts()[0]], vec![Route::new(vec![e[0]])]);
+        let m = Mapping::new(
+            vec![p.hosts()[0], p.hosts()[0]],
+            vec![Route::new(vec![e[0]])],
+        );
         let errs = validate_mapping(&p, &v, &m).unwrap_err();
         assert!(matches!(errs[0], Violation::IntraHostMismatch { .. }));
         // Differently-hosted guests with an empty route.
@@ -412,7 +502,10 @@ mod tests {
         let v = venv_pair(1.0, 100.0);
         let e: Vec<_> = p.graph().edge_ids().collect();
         // Route stops one hop short.
-        let m = Mapping::new(vec![p.hosts()[0], p.hosts()[2]], vec![Route::new(vec![e[0]])]);
+        let m = Mapping::new(
+            vec![p.hosts()[0], p.hosts()[2]],
+            vec![Route::new(vec![e[0]])],
+        );
         let errs = validate_mapping(&p, &v, &m).unwrap_err();
         assert!(matches!(errs[0], Violation::RouteWrongDestination { .. }));
     }
@@ -435,7 +528,9 @@ mod tests {
             vec![Route::new(vec![e[0], e[1], e[2], e[0]])],
         );
         let errs = validate_mapping(&p, &v, &m).unwrap_err();
-        assert!(errs.iter().any(|err| matches!(err, Violation::RouteHasLoop { .. })));
+        assert!(errs
+            .iter()
+            .any(|err| matches!(err, Violation::RouteHasLoop { .. })));
     }
 
     #[test]

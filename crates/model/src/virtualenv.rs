@@ -58,7 +58,9 @@ pub struct VirtualEnvironment {
 impl VirtualEnvironment {
     /// An empty virtual environment.
     pub fn new() -> Self {
-        VirtualEnvironment { graph: Graph::new() }
+        VirtualEnvironment {
+            graph: Graph::new(),
+        }
     }
 
     /// Wraps an already-built guest/link graph.

@@ -64,7 +64,9 @@ fn mapping_roundtrips_including_intra_host_routes() {
     );
     let back: Mapping = roundtrip(&mapping);
     assert_eq!(back, mapping);
-    assert!(back.route_of(emumap_graph::EdgeId::from_index(0)).is_intra_host());
+    assert!(back
+        .route_of(emumap_graph::EdgeId::from_index(0))
+        .is_intra_host());
 }
 
 #[test]

@@ -92,7 +92,10 @@ pub fn simulate_host_with(
                 "task {} has work but no CPU demand",
                 t.id
             );
-            live.push(Live { idx, remaining: t.work_mi });
+            live.push(Live {
+                idx,
+                remaining: t.work_mi,
+            });
         }
     }
     if !live.is_empty() {
@@ -164,7 +167,10 @@ pub fn host_makespan_with(
     simulate_host_with(capacity_mips, tasks, start, model)
         .into_iter()
         .map(|(_, t)| t)
-        .fold(start, |acc, t| if t.seconds() > acc.seconds() { t } else { acc })
+        .fold(
+            start,
+            |acc, t| if t.seconds() > acc.seconds() { t } else { acc },
+        )
 }
 
 #[cfg(test)]
@@ -172,7 +178,11 @@ mod tests {
     use super::*;
 
     fn t(id: usize, demand: f64, work: f64) -> CpuTask {
-        CpuTask { id, demand_mips: demand, work_mi: work }
+        CpuTask {
+            id,
+            demand_mips: demand,
+            work_mi: work,
+        }
     }
 
     fn capped(capacity: f64, tasks: &[CpuTask], start: SimTime) -> Vec<(usize, SimTime)> {
@@ -184,7 +194,11 @@ mod tests {
     #[test]
     fn capped_undersubscribed_host_runs_at_demand() {
         // 1000 MIPS host, two guests demanding 100 each: no contention.
-        let out = capped(1000.0, &[t(0, 100.0, 200.0), t(1, 100.0, 400.0)], SimTime::ZERO);
+        let out = capped(
+            1000.0,
+            &[t(0, 100.0, 200.0), t(1, 100.0, 400.0)],
+            SimTime::ZERO,
+        );
         let find = |id| out.iter().find(|(i, _)| *i == id).unwrap().1.seconds();
         assert!((find(0) - 2.0).abs() < 1e-9);
         assert!((find(1) - 4.0).abs() < 1e-9);
@@ -193,7 +207,11 @@ mod tests {
     #[test]
     fn capped_oversubscribed_host_scales_proportionally() {
         // 100 MIPS host, two guests each demanding 100: each runs at 50.
-        let out = capped(100.0, &[t(0, 100.0, 100.0), t(1, 100.0, 100.0)], SimTime::ZERO);
+        let out = capped(
+            100.0,
+            &[t(0, 100.0, 100.0), t(1, 100.0, 100.0)],
+            SimTime::ZERO,
+        );
         for (_, time) in out {
             assert!((time.seconds() - 2.0).abs() < 1e-9);
         }
@@ -206,7 +224,11 @@ mod tests {
         // at t=1 (50 MI), guest 1 has 100 MI left. Phase 2: guest 1 alone
         // at min(demand, capacity)=100 -> +1 s. Total 2 s, NOT the 3 s a
         // fixed 50-MIPS rate would give.
-        let out = capped(100.0, &[t(0, 100.0, 50.0), t(1, 100.0, 150.0)], SimTime::ZERO);
+        let out = capped(
+            100.0,
+            &[t(0, 100.0, 50.0), t(1, 100.0, 150.0)],
+            SimTime::ZERO,
+        );
         let find = |id| out.iter().find(|(i, _)| *i == id).unwrap().1.seconds();
         assert!((find(0) - 1.0).abs() < 1e-9);
         assert!((find(1) - 2.0).abs() < 1e-9);
@@ -241,7 +263,11 @@ mod tests {
         // equal work 300 MI, guest 0 finishes at 3 s... but when guest 1
         // finishes at 1 s, guest 0 takes the whole host (400 MIPS) for its
         // remaining 200 MI -> total 1 + 0.5 = 1.5 s.
-        let out = simulate_host(400.0, &[t(0, 100.0, 300.0), t(1, 300.0, 300.0)], SimTime::ZERO);
+        let out = simulate_host(
+            400.0,
+            &[t(0, 100.0, 300.0), t(1, 300.0, 300.0)],
+            SimTime::ZERO,
+        );
         let find = |id| out.iter().find(|(i, _)| *i == id).unwrap().1.seconds();
         assert!((find(1) - 1.0).abs() < 1e-9);
         assert!((find(0) - 1.5).abs() < 1e-9);
@@ -300,7 +326,12 @@ mod tests {
         // The paper's core claim in miniature: the same four guests on two
         // 100-MIPS hosts finish sooner spread 2+2 than packed 4+0 — under
         // both rate models.
-        let guests = [t(0, 100.0, 100.0), t(1, 100.0, 100.0), t(2, 100.0, 100.0), t(3, 100.0, 100.0)];
+        let guests = [
+            t(0, 100.0, 100.0),
+            t(1, 100.0, 100.0),
+            t(2, 100.0, 100.0),
+            t(3, 100.0, 100.0),
+        ];
         for model in [RateModel::WorkConserving, RateModel::CappedReservation] {
             let packed = host_makespan_with(100.0, &guests, SimTime::ZERO, model);
             let spread_a = host_makespan_with(100.0, &guests[..2], SimTime::ZERO, model);

@@ -82,7 +82,12 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), now: 0.0, seq: 0, processed: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            processed: 0,
+        }
     }
 
     /// The current simulation time (the timestamp of the last popped
@@ -119,7 +124,11 @@ impl<E> EventQueue<E> {
             at.0,
             self.now
         );
-        self.heap.push(Scheduled { time: at.0, seq: self.seq, payload });
+        self.heap.push(Scheduled {
+            time: at.0,
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

@@ -86,7 +86,10 @@ pub fn run_experiment(
     // Group guests by host once.
     let mut by_host: HashMap<NodeId, Vec<usize>> = HashMap::new();
     for g in venv.guest_ids() {
-        by_host.entry(mapping.host_of(g)).or_default().push(g.index());
+        by_host
+            .entry(mapping.host_of(g))
+            .or_default()
+            .push(g.index());
     }
 
     let mut round_s = Vec::with_capacity(spec.rounds);
@@ -117,7 +120,11 @@ pub fn run_experiment(
                         .guest(emumap_graph::NodeId::from_index(gi))
                         .proc
                         .value();
-                    CpuTask { id: gi, demand_mips: demand, work_mi: spec.work_factor * demand }
+                    CpuTask {
+                        id: gi,
+                        demand_mips: demand,
+                        work_mi: spec.work_factor * demand,
+                    }
                 })
                 .collect();
             for (gi, t) in simulate_host_with(capacity, &tasks, SimTime::ZERO, spec.rate_model) {
@@ -136,9 +143,12 @@ pub fn run_experiment(
                 None => transfer_time(phys, venv, mapping, l, spec.msg_kbits).seconds(),
                 Some(rates) => {
                     let rate = rates[l.index()];
-                    let serialization = if rate.is_finite() { spec.msg_kbits / rate } else { 0.0 };
-                    serialization
-                        + crate::network::route_latency(phys, mapping, l).seconds()
+                    let serialization = if rate.is_finite() {
+                        spec.msg_kbits / rate
+                    } else {
+                        0.0
+                    };
+                    serialization + crate::network::route_latency(phys, mapping, l).seconds()
                 }
             };
             round_end = round_end.max(start + dt);
@@ -191,7 +201,13 @@ mod tests {
             vec![phys.hosts()[0], phys.hosts()[0]],
             vec![Route::intra_host()],
         );
-        let spec = ExperimentSpec { rounds: 5, work_factor: 2.0, msg_kbits: 100.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let spec = ExperimentSpec {
+            rounds: 5,
+            work_factor: 2.0,
+            msg_kbits: 100.0,
+            rate_model: RateModel::CappedReservation,
+            network_model: NetworkModel::Reserved,
+        };
         let r = run_experiment(&phys, &venv, &m, &spec);
         // Each round: 2 s compute (no contention), 0 s network (intra-host).
         assert!((r.total_s - 10.0).abs() < 1e-9);
@@ -211,11 +227,14 @@ mod tests {
             vec![Route::intra_host()],
         );
         let e: Vec<_> = phys.graph().edge_ids().collect();
-        let spread = Mapping::new(
-            vec![phys.hosts()[0], phys.hosts()[1]],
-            vec![Route::new(e)],
-        );
-        let spec = ExperimentSpec { rounds: 1, work_factor: 1.0, msg_kbits: 0.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let spread = Mapping::new(vec![phys.hosts()[0], phys.hosts()[1]], vec![Route::new(e)]);
+        let spec = ExperimentSpec {
+            rounds: 1,
+            work_factor: 1.0,
+            msg_kbits: 0.0,
+            rate_model: RateModel::CappedReservation,
+            network_model: NetworkModel::Reserved,
+        };
         let packed_r = run_experiment(&phys, &venv, &packed, &spec);
         let spread_r = run_experiment(&phys, &venv, &spread, &spec);
         assert!((packed_r.total_s - 2.0).abs() < 1e-9);
@@ -231,7 +250,13 @@ mod tests {
         let venv = venv_pair(100.0, 100.0);
         let e: Vec<_> = phys.graph().edge_ids().collect();
         let m = Mapping::new(vec![phys.hosts()[0], phys.hosts()[1]], vec![Route::new(e)]);
-        let spec = ExperimentSpec { rounds: 1, work_factor: 1.0, msg_kbits: 100.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let spec = ExperimentSpec {
+            rounds: 1,
+            work_factor: 1.0,
+            msg_kbits: 100.0,
+            rate_model: RateModel::CappedReservation,
+            network_model: NetworkModel::Reserved,
+        };
         let r = run_experiment(&phys, &venv, &m, &spec);
         // 1 s compute + (100 kbit / 100 kbps = 1 s) + 5 ms.
         assert!((r.total_s - 2.005).abs() < 1e-9);
@@ -256,7 +281,13 @@ mod tests {
             vec![phys.hosts()[0], phys.hosts()[1], phys.hosts()[1]],
             vec![Route::new(e)],
         );
-        let spec = ExperimentSpec { rounds: 1, work_factor: 1.0, msg_kbits: 100.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let spec = ExperimentSpec {
+            rounds: 1,
+            work_factor: 1.0,
+            msg_kbits: 100.0,
+            rate_model: RateModel::CappedReservation,
+            network_model: NetworkModel::Reserved,
+        };
         let r = run_experiment(&phys, &venv, &m, &spec);
         // 2 s (c's compute) + 1 s serialization + 5 ms.
         assert!((r.total_s - 3.005).abs() < 1e-9, "got {}", r.total_s);
@@ -285,7 +316,10 @@ mod tests {
             rate_model: RateModel::CappedReservation,
             network_model: NetworkModel::Reserved,
         };
-        let fair = ExperimentSpec { network_model: NetworkModel::MaxMinFair, ..reserved };
+        let fair = ExperimentSpec {
+            network_model: NetworkModel::MaxMinFair,
+            ..reserved
+        };
         let t_reserved = run_experiment(&phys, &venv, &m, &reserved).total_s;
         let t_fair = run_experiment(&phys, &venv, &m, &fair).total_s;
         // Reserved: 100 kbit / 100 kbps = 1 s + 5 ms.
@@ -306,13 +340,25 @@ mod tests {
             &phys,
             &venv,
             &m,
-            &ExperimentSpec { rounds: 1, work_factor: 1.0, msg_kbits: 10.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved },
+            &ExperimentSpec {
+                rounds: 1,
+                work_factor: 1.0,
+                msg_kbits: 10.0,
+                rate_model: RateModel::CappedReservation,
+                network_model: NetworkModel::Reserved,
+            },
         );
         let five = run_experiment(
             &phys,
             &venv,
             &m,
-            &ExperimentSpec { rounds: 5, work_factor: 1.0, msg_kbits: 10.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved },
+            &ExperimentSpec {
+                rounds: 5,
+                work_factor: 1.0,
+                msg_kbits: 10.0,
+                rate_model: RateModel::CappedReservation,
+                network_model: NetworkModel::Reserved,
+            },
         );
         assert!((five.total_s - 5.0 * one.total_s).abs() < 1e-9);
     }
@@ -329,7 +375,13 @@ mod tests {
         let h = phys.hosts();
         let lopsided = Mapping::new(vec![h[0], h[0], h[0], h[1]], vec![]);
         let balanced = Mapping::new(vec![h[0], h[0], h[1], h[1]], vec![]);
-        let spec = ExperimentSpec { rounds: 3, work_factor: 1.0, msg_kbits: 0.0, rate_model: RateModel::CappedReservation, network_model: NetworkModel::Reserved };
+        let spec = ExperimentSpec {
+            rounds: 3,
+            work_factor: 1.0,
+            msg_kbits: 0.0,
+            rate_model: RateModel::CappedReservation,
+            network_model: NetworkModel::Reserved,
+        };
         let slow = run_experiment(&phys, &venv, &lopsided, &spec);
         let fast = run_experiment(&phys, &venv, &balanced, &spec);
         assert!(slow.total_s > fast.total_s);

@@ -54,7 +54,9 @@ pub mod engine;
 pub mod experiment;
 pub mod network;
 
-pub use cpu::{host_makespan, host_makespan_with, simulate_host, simulate_host_with, CpuTask, RateModel};
+pub use cpu::{
+    host_makespan, host_makespan_with, simulate_host, simulate_host_with, CpuTask, RateModel,
+};
 pub use engine::{EventQueue, SimTime};
 pub use experiment::{run_experiment, ExperimentResult, ExperimentSpec};
 pub use network::{max_min_fair_rates, route_latency, transfer_time, NetworkModel};

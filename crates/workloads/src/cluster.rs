@@ -9,7 +9,9 @@
 
 use crate::sampler::{sample, Distribution, Range};
 use emumap_graph::generators::{self, Topology};
-use emumap_model::{HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, PhysicalTopology, StorGb, VmmOverhead};
+use emumap_model::{
+    HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, PhysicalTopology, StorGb, VmmOverhead,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -38,7 +40,11 @@ impl ClusterTopology {
     pub fn shape(&self, n_hosts: usize) -> Topology {
         match *self {
             ClusterTopology::Torus2D { rows, cols } => {
-                assert_eq!(rows * cols, n_hosts, "torus {rows}x{cols} != {n_hosts} hosts");
+                assert_eq!(
+                    rows * cols,
+                    n_hosts,
+                    "torus {rows}x{cols} != {n_hosts} hosts"
+                );
                 generators::torus2d(rows, cols)
             }
             ClusterTopology::Switched { ports } => generators::switched_cascade(n_hosts, ports),

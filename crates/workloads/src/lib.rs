@@ -35,7 +35,9 @@ pub mod scenarios;
 mod venv_gen;
 
 pub use cluster::{ClusterSpec, ClusterTopology};
-pub use sampler::{sample, standard_normal, Distribution, Range};
-pub use scenarios::{instantiate, instantiate_both, paper_scenarios, Instance, Scenario, WorkloadKind};
 pub use feasibility::{ffd_packable, memory_utilization};
+pub use sampler::{sample, standard_normal, Distribution, Range};
+pub use scenarios::{
+    instantiate, instantiate_both, paper_scenarios, Instance, Scenario, WorkloadKind,
+};
 pub use venv_gen::VirtualEnvSpec;

@@ -97,10 +97,15 @@ mod tests {
     fn uniform_samples_stay_in_range_and_spread() {
         let mut rng = SmallRng::seed_from_u64(1);
         let r = Range::new(128.0, 256.0);
-        let samples: Vec<f64> = (0..2000).map(|_| sample(&mut rng, r, Distribution::Uniform)).collect();
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| sample(&mut rng, r, Distribution::Uniform))
+            .collect();
         assert!(samples.iter().all(|&v| (r.lo..=r.hi).contains(&v)));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        assert!((mean - r.mid()).abs() < 5.0, "uniform mean ≈ midpoint, got {mean}");
+        assert!(
+            (mean - r.mid()).abs() < 5.0,
+            "uniform mean ≈ midpoint, got {mean}"
+        );
         // Spread: both halves of the range are populated.
         assert!(samples.iter().any(|&v| v < r.mid()));
         assert!(samples.iter().any(|&v| v > r.mid()));
@@ -110,12 +115,16 @@ mod tests {
     fn truncated_normal_stays_in_range_and_concentrates() {
         let mut rng = SmallRng::seed_from_u64(2);
         let r = Range::new(0.0, 60.0);
-        let samples: Vec<f64> =
-            (0..4000).map(|_| sample(&mut rng, r, Distribution::TruncatedNormal)).collect();
+        let samples: Vec<f64> = (0..4000)
+            .map(|_| sample(&mut rng, r, Distribution::TruncatedNormal))
+            .collect();
         assert!(samples.iter().all(|&v| (r.lo..=r.hi).contains(&v)));
         // ±1σ (= width/6 = 10) around the mean should hold ~68% — far more
         // than a uniform's 33%.
-        let near = samples.iter().filter(|&&v| (v - 30.0).abs() <= 10.0).count();
+        let near = samples
+            .iter()
+            .filter(|&&v| (v - 30.0).abs() <= 10.0)
+            .count();
         let frac = near as f64 / samples.len() as f64;
         assert!(frac > 0.55, "normal concentration expected, got {frac}");
     }

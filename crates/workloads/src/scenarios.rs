@@ -63,11 +63,19 @@ pub fn paper_scenarios() -> Vec<Scenario> {
     let mut rows = Vec::with_capacity(16);
     for &density in &[0.015, 0.02, 0.025] {
         for &ratio in &[2.5, 5.0, 7.5, 10.0] {
-            rows.push(Scenario { ratio, density, workload: WorkloadKind::HighLevel });
+            rows.push(Scenario {
+                ratio,
+                density,
+                workload: WorkloadKind::HighLevel,
+            });
         }
     }
     for &ratio in &[20.0, 30.0, 40.0, 50.0] {
-        rows.push(Scenario { ratio, density: 0.01, workload: WorkloadKind::LowLevel });
+        rows.push(Scenario {
+            ratio,
+            density: 0.01,
+            workload: WorkloadKind::LowLevel,
+        });
     }
     rows
 }
@@ -104,7 +112,11 @@ fn draw_feasible(
     let spec = scenario.venv_spec(cluster.hosts);
     let mut last = None;
     for attempt in 0..MAX_FEASIBILITY_REDRAWS {
-        let seed = mix(base_seed ^ attempt.wrapping_mul(0xa076_1d64_78bd_642f), scenario, rep);
+        let seed = mix(
+            base_seed ^ attempt.wrapping_mul(0xa076_1d64_78bd_642f),
+            scenario,
+            rep,
+        );
         let mut rng = SmallRng::seed_from_u64(seed);
         let hosts = cluster.draw_hosts(&mut rng);
         let venv = spec.generate(&mut rng);
@@ -135,7 +147,11 @@ pub fn instantiate(
 ) -> Instance {
     let (hosts, venv, mapper_seed) = draw_feasible(cluster, scenario, rep, base_seed);
     let phys = cluster.build_with_hosts(topology, &hosts);
-    Instance { phys, venv, mapper_seed }
+    Instance {
+        phys,
+        venv,
+        mapper_seed,
+    }
 }
 
 /// Like [`instantiate`], but builds *both* paper topologies over the same
@@ -151,8 +167,16 @@ pub fn instantiate_both(
     let torus = cluster.build_with_hosts(ClusterSpec::paper_torus(), &hosts);
     let switched = cluster.build_with_hosts(ClusterSpec::paper_switched(), &hosts);
     (
-        Instance { phys: torus, venv: venv.clone(), mapper_seed },
-        Instance { phys: switched, venv, mapper_seed },
+        Instance {
+            phys: torus,
+            venv: venv.clone(),
+            mapper_seed,
+        },
+        Instance {
+            phys: switched,
+            venv,
+            mapper_seed,
+        },
     )
 }
 
@@ -182,8 +206,12 @@ mod tests {
         assert_eq!(rows[11].label(), "10:1 0.025");
         assert_eq!(rows[12].label(), "20:1 0.01");
         assert_eq!(rows[15].label(), "50:1 0.01");
-        assert!(rows[..12].iter().all(|s| s.workload == WorkloadKind::HighLevel));
-        assert!(rows[12..].iter().all(|s| s.workload == WorkloadKind::LowLevel));
+        assert!(rows[..12]
+            .iter()
+            .all(|s| s.workload == WorkloadKind::HighLevel));
+        assert!(rows[12..]
+            .iter()
+            .all(|s| s.workload == WorkloadKind::LowLevel));
     }
 
     #[test]
@@ -231,10 +259,7 @@ mod tests {
         let (torus, switched) = instantiate_both(&cluster, &s, 0, 7);
         assert_eq!(torus.venv.guest_count(), 200);
         assert_eq!(torus.venv.guest_count(), switched.venv.guest_count());
-        assert_eq!(
-            torus.venv.link_count(),
-            edges_for_density(200, 0.015),
-        );
+        assert_eq!(torus.venv.link_count(), edges_for_density(200, 0.015),);
         for (&x, &y) in torus.phys.hosts().iter().zip(switched.phys.hosts()) {
             assert_eq!(torus.phys.host_spec(x), switched.phys.host_spec(y));
         }
@@ -242,7 +267,11 @@ mod tests {
 
     #[test]
     fn scenario_labels_roundtrip_fractions() {
-        let s = Scenario { ratio: 7.5, density: 0.02, workload: WorkloadKind::HighLevel };
+        let s = Scenario {
+            ratio: 7.5,
+            density: 0.02,
+            workload: WorkloadKind::HighLevel,
+        };
         assert_eq!(s.label(), "7.5:1 0.02");
     }
 }

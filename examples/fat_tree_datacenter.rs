@@ -24,7 +24,11 @@ fn main() {
     let shape = generators::fat_tree(4);
     let phys = PhysicalTopology::from_shape(
         &shape,
-        std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(2000.0))),
+        std::iter::repeat(HostSpec::new(
+            Mips(2000.0),
+            MemMb::from_gb(2),
+            StorGb(2000.0),
+        )),
         // 100 Mbps links: each host has a single uplink, so its resident
         // guests' aggregate external traffic must fit through it.
         LinkSpec::new(Kbps::from_mbps(100.0), Millis(2.0)),
@@ -65,7 +69,10 @@ fn main() {
         "workload: {} guests, {} links, {:.1} Mbps total demand\n",
         venv.guest_count(),
         venv.link_count(),
-        venv.link_ids().map(|l| venv.link(l).bw.value()).sum::<f64>() / 1000.0
+        venv.link_ids()
+            .map(|l| venv.link(l).bw.value())
+            .sum::<f64>()
+            / 1000.0
     );
 
     let outcome = Hmn::new()
@@ -104,7 +111,9 @@ fn main() {
     // Hop histogram: multipath topologies produce 2/4/6-hop routes.
     let mut hops: HashMap<usize, usize> = HashMap::new();
     for l in venv.link_ids() {
-        *hops.entry(outcome.mapping.route_of(l).hop_count()).or_default() += 1;
+        *hops
+            .entry(outcome.mapping.route_of(l).hop_count())
+            .or_default() += 1;
     }
     let mut keys: Vec<_> = hops.keys().copied().collect();
     keys.sort_unstable();

@@ -15,7 +15,11 @@ use rand::{Rng, SeedableRng};
 /// form a clique of inter-site links. Head nodes are beefier; inter-site
 /// links are slower and latency-tolerant, intra-site links fast and tight —
 /// the communication structure a grid middleware test would emulate.
-fn grid_environment(sites: usize, guests_per_site: usize, rng: &mut SmallRng) -> VirtualEnvironment {
+fn grid_environment(
+    sites: usize,
+    guests_per_site: usize,
+    rng: &mut SmallRng,
+) -> VirtualEnvironment {
     let mut venv = VirtualEnvironment::new();
     let mut heads = Vec::with_capacity(sites);
 
@@ -82,12 +86,8 @@ fn main() {
         match mapper.map(&phys, &venv, &mut mrng) {
             Ok(outcome) => {
                 validate_mapping(&phys, &venv, &outcome.mapping).expect("invalid mapping");
-                let sim = run_experiment(
-                    &phys,
-                    &venv,
-                    &outcome.mapping,
-                    &ExperimentSpec::default(),
-                );
+                let sim =
+                    run_experiment(&phys, &venv, &outcome.mapping, &ExperimentSpec::default());
                 println!(
                     "{:<6} {:>12.1} {:>10} {:>9} {:>10.2}s {:>11.2?}",
                     mapper.name(),

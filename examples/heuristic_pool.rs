@@ -85,7 +85,10 @@ fn main() {
 
     // HMN fails deterministically: hosting splits the pair, networking
     // cannot route 5 Mbps over 2 Mbps links.
-    report("HMN", Hmn::new().map(&phys, &venv, &mut SmallRng::seed_from_u64(0)));
+    report(
+        "HMN",
+        Hmn::new().map(&phys, &venv, &mut SmallRng::seed_from_u64(0)),
+    );
 
     // RA succeeds: random placement co-locates the pair within a few
     // hundred retries (probability ~1/12 per attempt).
@@ -128,7 +131,10 @@ fn main() {
     report(
         "SA",
         Annealing {
-            config: AnnealingConfig { bandwidth_weight: 4.0, ..Default::default() },
+            config: AnnealingConfig {
+                bandwidth_weight: 4.0,
+                ..Default::default()
+            },
         }
         .map(&phys, &venv, &mut SmallRng::seed_from_u64(0)),
     );

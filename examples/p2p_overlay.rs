@@ -69,7 +69,10 @@ fn main() {
     validate_mapping(&phys, &venv, &outcome.mapping).expect("invalid mapping");
 
     println!("HMN mapped the overlay:");
-    println!("  objective (Eq. 10)    : {:.1} MIPS stddev", outcome.objective);
+    println!(
+        "  objective (Eq. 10)    : {:.1} MIPS stddev",
+        outcome.objective
+    );
     println!("  migrations performed  : {}", outcome.stats.migrations);
     println!(
         "  links routed / intra  : {} / {}",
@@ -108,7 +111,12 @@ fn main() {
         &phys,
         &venv,
         &outcome.mapping,
-        &ExperimentSpec { rounds: 5, work_factor: 0.5, msg_kbits: 20.0, ..Default::default() },
+        &ExperimentSpec {
+            rounds: 5,
+            work_factor: 0.5,
+            msg_kbits: 20.0,
+            ..Default::default()
+        },
     );
     println!(
         "\n5 gossip rounds on the emulated overlay: {:.2}s ({:.2}s compute, {:.2}s network)",

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validate trace JSONL files produced by `emumap map --trace` and
+`emumap batch --trace-dir`.
+
+Usage: check_traces.py PATH [PATH ...]
+
+Each PATH is a trace file or a directory scanned for `*.jsonl`. For every
+file this asserts the structural contract CI relies on:
+
+  * the file is non-empty and every line is a JSON object with exactly one
+    recognized event tag;
+  * the stream opens with MapStart and closes with MapEnd;
+  * PhaseStart/PhaseEnd pairs are properly bracketed (no overlap, End
+    matches the open phase) and phases appear in pipeline order;
+  * PhaseEnd carries non-negative integer timings and counters.
+
+Exits non-zero with one line per violation, so a CI failure names the file
+and line.
+"""
+
+import json
+import pathlib
+import sys
+
+EVENT_TAGS = {
+    "MapStart",
+    "PhaseStart",
+    "PhaseEnd",
+    "LinkIntraHost",
+    "LinkRouted",
+    "LinkFailed",
+    "MapEnd",
+}
+PHASE_ORDER = ["Hosting", "Migration", "Networking"]
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    errors: list[str] = []
+    lines = path.read_text().splitlines()
+    if not lines:
+        return [f"{path}: empty trace"]
+
+    events = []
+    for i, line in enumerate(lines, start=1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            errors.append(f"{path}:{i}: not JSON: {e}")
+            continue
+        if not isinstance(obj, dict) or len(obj) != 1:
+            errors.append(f"{path}:{i}: expected a single-key event object")
+            continue
+        tag = next(iter(obj))
+        if tag not in EVENT_TAGS:
+            errors.append(f"{path}:{i}: unknown event tag {tag!r}")
+            continue
+        events.append((i, tag, obj[tag]))
+
+    if not events:
+        return errors or [f"{path}: no events"]
+
+    if events[0][1] != "MapStart":
+        errors.append(f"{path}:{events[0][0]}: stream must open with MapStart")
+    if events[-1][1] != "MapEnd":
+        errors.append(f"{path}:{events[-1][0]}: stream must close with MapEnd")
+
+    open_phase = None
+    last_phase_index = -1
+    for i, tag, body in events:
+        if tag == "PhaseStart":
+            if open_phase is not None:
+                errors.append(f"{path}:{i}: PhaseStart while {open_phase} is open")
+            open_phase = body.get("phase")
+            if open_phase not in PHASE_ORDER:
+                errors.append(f"{path}:{i}: unknown phase {open_phase!r}")
+        elif tag == "PhaseEnd":
+            phase = body.get("phase")
+            if phase != open_phase:
+                errors.append(
+                    f"{path}:{i}: PhaseEnd({phase}) does not match open phase {open_phase}"
+                )
+            open_phase = None
+            if phase in PHASE_ORDER:
+                idx = PHASE_ORDER.index(phase)
+                if idx < last_phase_index:
+                    errors.append(f"{path}:{i}: phase {phase} out of pipeline order")
+                last_phase_index = idx
+            elapsed = body.get("elapsed_us")
+            if not isinstance(elapsed, int) or elapsed < 0:
+                errors.append(f"{path}:{i}: bad elapsed_us {elapsed!r}")
+            counters = body.get("counters")
+            if not isinstance(counters, dict) or any(
+                not isinstance(v, int) or v < 0 for v in counters.values()
+            ):
+                errors.append(f"{path}:{i}: bad counters {counters!r}")
+    if open_phase is not None:
+        errors.append(f"{path}: phase {open_phase} never closed")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    files: list[pathlib.Path] = []
+    for arg in argv:
+        p = pathlib.Path(arg)
+        if p.is_dir():
+            files.extend(sorted(p.glob("*.jsonl")))
+        else:
+            files.append(p)
+    if not files:
+        print(f"check_traces: no trace files under {argv}", file=sys.stderr)
+        return 1
+
+    errors: list[str] = []
+    for f in files:
+        errors.extend(check_file(f))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f"check_traces: {len(files)} trace file(s) OK")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fail if any workspace crate depends on something that is not vendored.
+
+The repo's contract (vendor/README.md, CI's CARGO_NET_OFFLINE) is that
+every third-party dependency lives in-tree under `vendor/` and every
+first-party one under `crates/`. A dependency that names a registry
+version — `foo = "1.2"` or `foo = { version = "1.2" }` without a `path` —
+would silently reach for crates.io the moment someone builds online.
+
+This walks every `Cargo.toml` in the workspace and checks:
+
+  * `[workspace.dependencies]` entries resolve to a `path` inside
+    `crates/` or `vendor/`;
+  * per-crate `[dependencies]`, `[dev-dependencies]` and
+    `[build-dependencies]` entries either inherit the workspace
+    (`workspace = true`) or give an in-tree `path` themselves.
+
+Exits non-zero listing each offending (file, dependency).
+"""
+
+import pathlib
+import sys
+import tomllib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEP_TABLES = ("dependencies", "dev-dependencies", "build-dependencies")
+
+
+def dep_error(name: str, spec: object, source: pathlib.Path) -> str | None:
+    """Returns a violation message, or None if the dependency is in-tree."""
+    if isinstance(spec, str):
+        return f"registry version {spec!r} (vendor it and use a path)"
+    if not isinstance(spec, dict):
+        return f"unrecognized spec {spec!r}"
+    if spec.get("workspace") is True:
+        return None  # resolved against [workspace.dependencies], checked there
+    path = spec.get("path")
+    if path is None:
+        return "no `path` and not `workspace = true`"
+    resolved = (source.parent / path).resolve()
+    if not resolved.is_relative_to(ROOT):
+        return f"path {path!r} escapes the repository"
+    try:
+        rel = resolved.relative_to(ROOT)
+    except ValueError:
+        return f"path {path!r} escapes the repository"
+    if rel.parts and rel.parts[0] in ("crates", "vendor"):
+        return None
+    return f"path {path!r} is not under crates/ or vendor/"
+
+
+def main() -> int:
+    manifests = [ROOT / "Cargo.toml"] + sorted(
+        p for p in ROOT.glob("*/*/Cargo.toml") if p.parts[-3] in ("crates", "vendor")
+    )
+    violations: list[str] = []
+    workspace_names: set[str] = set()
+
+    for manifest in manifests:
+        with open(manifest, "rb") as f:
+            data = tomllib.load(f)
+        rel = manifest.relative_to(ROOT)
+
+        for name, spec in data.get("workspace", {}).get("dependencies", {}).items():
+            workspace_names.add(name)
+            err = dep_error(name, spec, manifest)
+            if err:
+                violations.append(f"{rel}: [workspace.dependencies] {name}: {err}")
+
+        for table in DEP_TABLES:
+            for name, spec in data.get(table, {}).items():
+                if isinstance(spec, dict) and spec.get("workspace") is True:
+                    if name not in workspace_names:
+                        violations.append(
+                            f"{rel}: [{table}] {name}: workspace = true but not in "
+                            "[workspace.dependencies]"
+                        )
+                    continue
+                err = dep_error(name, spec, manifest)
+                if err:
+                    violations.append(f"{rel}: [{table}] {name}: {err}")
+
+    for v in violations:
+        print(v, file=sys.stderr)
+    if not violations:
+        print(f"vendor_check: {len(manifests)} manifest(s) OK — all dependencies in-tree")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

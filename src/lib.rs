@@ -56,18 +56,20 @@ pub use emumap_workloads as workloads;
 /// virtual environment, map it, validate, simulate.
 pub mod prelude {
     pub use emumap_core::{
-        cluster_diagnostics, diagnose_route, Annealing, AnnealingConfig, AStarPruneConfig, BestFit, ClusterDiagnostics,
-        ConsolidatingHmn, FirstFitDecreasing, HeuristicPool, Hmn, HmnConfig, HostingDfs,
-        HmnKsp, HostingPolicy, LinkOrder, MapError, MapOutcome, MapStats, Mapper, PathMetric, PoolPolicy, RandomAStar,
-        MigrationPolicy, RandomDfs, RouteVerdict, WorstFit,
+        cluster_diagnostics, diagnose_route, AStarPruneConfig, Annealing, AnnealingConfig, BestFit,
+        ClusterDiagnostics, ConsolidatingHmn, FirstFitDecreasing, HeuristicPool, Hmn, HmnConfig,
+        HmnKsp, HostingDfs, HostingPolicy, LinkOrder, MapError, MapOutcome, MapStats, Mapper,
+        MigrationPolicy, PathMetric, PoolPolicy, RandomAStar, RandomDfs, RouteVerdict, WorstFit,
     };
     pub use emumap_graph::{generators, EdgeId, Graph, NodeId};
     pub use emumap_model::{
         objective, validate_mapping, GuestId, GuestSpec, HostSpec, Kbps, LinkSpec, Mapping, MemMb,
         Millis, Mips, PhysicalTopology, ResidualState, Route, StorGb, VLinkId, VLinkSpec,
-        VirtualEnvironment, Violation, VmmOverhead,
+        Violation, VirtualEnvironment, VmmOverhead,
     };
-    pub use emumap_sim::{run_experiment, ExperimentResult, ExperimentSpec, NetworkModel, RateModel, SimTime};
+    pub use emumap_sim::{
+        run_experiment, ExperimentResult, ExperimentSpec, NetworkModel, RateModel, SimTime,
+    };
     pub use emumap_workloads::{
         instantiate, instantiate_both, paper_scenarios, ClusterSpec, ClusterTopology, Distribution,
         Instance, Range, Scenario, VirtualEnvSpec, WorkloadKind,

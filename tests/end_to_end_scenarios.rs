@@ -17,7 +17,11 @@ fn mappers() -> Vec<Box<dyn Mapper>> {
 #[test]
 fn every_mapper_validates_on_the_easy_high_level_scenario() {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 2.5, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 2.5,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let (torus, switched) = instantiate_both(&cluster, &scenario, 0, 42);
     for inst in [&torus, &switched] {
         for mapper in mappers() {
@@ -55,10 +59,16 @@ fn hmn_beats_random_astar_on_objective() {
     let mut ra_total = 0.0;
     let mut n = 0;
     for rep in 0..3 {
-        let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+        let scenario = Scenario {
+            ratio: 5.0,
+            density: 0.02,
+            workload: WorkloadKind::HighLevel,
+        };
         let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, rep, 7);
         let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-        let hmn = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("HMN maps 5:1");
+        let hmn = Hmn::new()
+            .map(&inst.phys, &inst.venv, &mut rng)
+            .expect("HMN maps 5:1");
         let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
         let ra = RandomAStar::default()
             .map(&inst.phys, &inst.venv, &mut rng)
@@ -78,14 +88,21 @@ fn hmn_beats_random_astar_on_objective() {
 fn hmn_handles_the_largest_low_level_scenario() {
     // 50:1 — 2000 guests, the paper's biggest instance.
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 50.0, density: 0.01, workload: WorkloadKind::LowLevel };
+    let scenario = Scenario {
+        ratio: 50.0,
+        density: 0.01,
+        workload: WorkloadKind::LowLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 11);
     assert_eq!(inst.venv.guest_count(), 2000);
     let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
     let out = Hmn::new()
         .map(&inst.phys, &inst.venv, &mut rng)
         .expect("the low-level workload is comfortably mappable");
-    assert_eq!(validate_mapping(&inst.phys, &inst.venv, &out.mapping), Ok(()));
+    assert_eq!(
+        validate_mapping(&inst.phys, &inst.venv, &out.mapping),
+        Ok(())
+    );
     assert_eq!(
         out.stats.routed_links + out.stats.intra_host_links,
         inst.venv.link_count()
@@ -98,12 +115,20 @@ fn both_clusters_share_instances_and_hmn_placement_is_identical() {
     // same host set the placement is the same on both topologies; only the
     // routes differ.
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 5.0, density: 0.015, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 5.0,
+        density: 0.015,
+        workload: WorkloadKind::HighLevel,
+    };
     let (torus, switched) = instantiate_both(&cluster, &scenario, 1, 99);
     let mut rng = SmallRng::seed_from_u64(torus.mapper_seed);
-    let a = Hmn::new().map(&torus.phys, &torus.venv, &mut rng).expect("maps");
+    let a = Hmn::new()
+        .map(&torus.phys, &torus.venv, &mut rng)
+        .expect("maps");
     let mut rng = SmallRng::seed_from_u64(switched.mapper_seed);
-    let b = Hmn::new().map(&switched.phys, &switched.venv, &mut rng).expect("maps");
+    let b = Hmn::new()
+        .map(&switched.phys, &switched.venv, &mut rng)
+        .expect("maps");
     assert_eq!(a.mapping.placement(), b.mapping.placement());
     assert!((a.objective - b.objective).abs() < 1e-9);
 }
@@ -111,10 +136,16 @@ fn both_clusters_share_instances_and_hmn_placement_is_identical() {
 #[test]
 fn pool_of_everything_is_at_least_as_good_as_hmn() {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 7.5, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 7.5,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, 0, 5);
     let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-    let hmn = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("maps");
+    let hmn = Hmn::new()
+        .map(&inst.phys, &inst.venv, &mut rng)
+        .expect("maps");
     let pool = HeuristicPool::new(
         vec![
             Box::new(Hmn::new()),
@@ -124,6 +155,8 @@ fn pool_of_everything_is_at_least_as_good_as_hmn() {
         PoolPolicy::BestObjective,
     );
     let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-    let best = pool.map(&inst.phys, &inst.venv, &mut rng).expect("pool maps");
+    let best = pool
+        .map(&inst.phys, &inst.venv, &mut rng)
+        .expect("pool maps");
     assert!(best.objective <= hmn.objective + 1e-9);
 }

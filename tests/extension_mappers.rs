@@ -8,7 +8,11 @@ use rand::SeedableRng;
 
 fn paper_instance(ratio: f64, rep: u32) -> Instance {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, rep, 77)
 }
 
@@ -47,7 +51,9 @@ fn annealing_is_never_worse_than_hmn_on_balance() {
     for rep in 0..2 {
         let inst = paper_instance(5.0, rep);
         let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-        let hmn = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("maps");
+        let hmn = Hmn::new()
+            .map(&inst.phys, &inst.venv, &mut rng)
+            .expect("maps");
         let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
         let sa = Annealing {
             config: AnnealingConfig {
@@ -64,7 +70,10 @@ fn annealing_is_never_worse_than_hmn_on_balance() {
             sa.objective,
             hmn.objective
         );
-        assert_eq!(validate_mapping(&inst.phys, &inst.venv, &sa.mapping), Ok(()));
+        assert_eq!(
+            validate_mapping(&inst.phys, &inst.venv, &sa.mapping),
+            Ok(())
+        );
     }
 }
 
@@ -73,7 +82,9 @@ fn exhaustive_migration_is_at_least_as_balanced_as_paper_rule() {
     for rep in 0..3 {
         let inst = paper_instance(2.5, rep);
         let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-        let paper = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("maps");
+        let paper = Hmn::new()
+            .map(&inst.phys, &inst.venv, &mut rng)
+            .expect("maps");
         let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
         let exhaustive = Hmn::with_config(HmnConfig {
             migration: MigrationPolicy::Exhaustive,
@@ -97,7 +108,9 @@ fn hmn_beats_every_classical_placement_on_balance() {
     // HMN's objective is at least as good on paper-shaped instances.
     let inst = paper_instance(5.0, 1);
     let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-    let hmn = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("maps");
+    let hmn = Hmn::new()
+        .map(&inst.phys, &inst.venv, &mut rng)
+        .expect("maps");
     for mapper in [
         Box::new(FirstFitDecreasing::default()) as Box<dyn Mapper>,
         Box::new(BestFit::default()),
@@ -123,10 +136,15 @@ fn ksp_routing_matches_astar_success_on_loose_instances() {
     let out = HmnKsp { k: 8 }
         .map(&inst.phys, &inst.venv, &mut rng)
         .expect("loose scenario maps under KSP routing");
-    assert_eq!(validate_mapping(&inst.phys, &inst.venv, &out.mapping), Ok(()));
+    assert_eq!(
+        validate_mapping(&inst.phys, &inst.venv, &out.mapping),
+        Ok(())
+    );
     // Same placement as HMN (routing strategy does not affect placement).
     let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-    let hmn = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("maps");
+    let hmn = Hmn::new()
+        .map(&inst.phys, &inst.venv, &mut rng)
+        .expect("maps");
     assert_eq!(out.mapping.placement(), hmn.mapping.placement());
 }
 
@@ -153,7 +171,10 @@ fn diagnostics_prove_infeasibility_where_mappers_fail() {
 
     let mut rng = SmallRng::seed_from_u64(1);
     let err = Hmn::new().map(&phys, &venv, &mut rng);
-    assert!(err.is_err(), "one guest per host makes some link span >= 2 hops");
+    assert!(
+        err.is_err(),
+        "one guest per host makes some link span >= 2 hops"
+    );
 
     // The worst pair (ends of the line) is provably latency-infeasible.
     let residual = ResidualState::new(&phys);

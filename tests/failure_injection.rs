@@ -26,7 +26,10 @@ fn all_mappers() -> Vec<Box<dyn Mapper>> {
     vec![
         Box::new(Hmn::new()),
         Box::new(RandomDfs { max_attempts: 10 }),
-        Box::new(RandomAStar { max_attempts: 10, ..Default::default() }),
+        Box::new(RandomAStar {
+            max_attempts: 10,
+            ..Default::default()
+        }),
         Box::new(HostingDfs { max_attempts: 10 }),
         Box::new(ConsolidatingHmn::default()),
     ]
@@ -43,7 +46,10 @@ fn oversized_guests_fail_every_mapper_cleanly() {
             .err()
             .unwrap_or_else(|| panic!("{} should have failed", mapper.name()));
         assert!(
-            matches!(err, MapError::HostingFailed { .. } | MapError::RetriesExhausted { .. }),
+            matches!(
+                err,
+                MapError::HostingFailed { .. } | MapError::RetriesExhausted { .. }
+            ),
             "{}: unexpected error {err}",
             mapper.name()
         );
@@ -62,7 +68,10 @@ fn unroutable_bandwidth_fails_every_mapper_cleanly() {
             .err()
             .unwrap_or_else(|| panic!("{} should have failed", mapper.name()));
         assert!(
-            matches!(err, MapError::NetworkingFailed { .. } | MapError::RetriesExhausted { .. }),
+            matches!(
+                err,
+                MapError::NetworkingFailed { .. } | MapError::RetriesExhausted { .. }
+            ),
             "{}: unexpected error {err}",
             mapper.name()
         );
@@ -119,7 +128,11 @@ fn vmm_overhead_shrinks_usable_capacity() {
     // With overhead eating most memory, a guest that fits the raw spec no
     // longer fits the effective capacity.
     let shape = generators::ring(3);
-    let vmm = VmmOverhead { proc: Mips(100.0), mem: MemMb(900), stor: StorGb(0.0) };
+    let vmm = VmmOverhead {
+        proc: Mips(100.0),
+        mem: MemMb(900),
+        stor: StorGb(0.0),
+    };
     let phys = PhysicalTopology::from_shape(
         &shape,
         std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
@@ -144,7 +157,11 @@ fn vmm_overhead_shrinks_usable_capacity() {
 #[test]
 fn guests_never_land_on_switches() {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 10.0, density: 0.015, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 10.0,
+        density: 0.015,
+        workload: WorkloadKind::HighLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, 0, 7);
     let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
     if let Ok(out) = Hmn::new().map(&inst.phys, &inst.venv, &mut rng) {

@@ -11,11 +11,11 @@ use rand::SeedableRng;
 /// densityish links.
 fn arb_instance() -> impl Strategy<Value = (PhysicalTopology, VirtualEnvironment, u64)> {
     (
-        2usize..10,           // hosts
-        0usize..3,            // topology selector
-        1usize..30,           // guests
-        0.0f64..0.4,          // density
-        any::<u64>(),         // seed
+        2usize..10,   // hosts
+        0usize..3,    // topology selector
+        1usize..30,   // guests
+        0.0f64..0.4,  // density
+        any::<u64>(), // seed
     )
         .prop_map(|(hosts, topo, guests, density, seed)| {
             let mut rng = SmallRng::seed_from_u64(seed);

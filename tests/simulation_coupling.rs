@@ -20,7 +20,11 @@ fn pearson(x: &[f64], y: &[f64]) -> f64 {
 #[test]
 fn objective_correlates_with_experiment_runtime() {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 7.5, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 7.5,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let mut objectives = Vec::new();
     let mut runtimes = Vec::new();
 
@@ -58,7 +62,11 @@ fn objective_correlates_with_experiment_runtime() {
 #[test]
 fn hmn_experiment_is_faster_than_random_astar_on_the_same_instance() {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 10.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 10.0,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let mut hmn_wins = 0;
     let mut total = 0;
     // Hosting legitimately fails on some reps at this 25:1 guest:host
@@ -67,7 +75,9 @@ fn hmn_experiment_is_faster_than_random_astar_on_the_same_instance() {
     for rep in 0..12 {
         let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, rep, 21);
         let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-        let Ok(hmn) = Hmn::new().map(&inst.phys, &inst.venv, &mut rng) else { continue };
+        let Ok(hmn) = Hmn::new().map(&inst.phys, &inst.venv, &mut rng) else {
+            continue;
+        };
         let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
         let Ok(ra) = RandomAStar::default().map(&inst.phys, &inst.venv, &mut rng) else {
             continue;
@@ -93,7 +103,11 @@ fn colocation_eliminates_network_time() {
     // experiment then spends zero time in the network phase.
     let phys = PhysicalTopology::from_shape(
         &generators::line(2),
-        std::iter::repeat(HostSpec::new(Mips(2000.0), MemMb::from_gb(2), StorGb(1000.0))),
+        std::iter::repeat(HostSpec::new(
+            Mips(2000.0),
+            MemMb::from_gb(2),
+            StorGb(1000.0),
+        )),
         LinkSpec::new(Kbps(1000.0), Millis(5.0)),
         VmmOverhead::NONE,
     );
@@ -104,9 +118,12 @@ fn colocation_eliminates_network_time() {
     let mut rng = SmallRng::seed_from_u64(1);
     // Migration would split this degenerate 2-guest pair for a tiny
     // balance gain; disable it to test the co-location path in isolation.
-    let out = Hmn::with_config(HmnConfig { migration: MigrationPolicy::Off, ..Default::default() })
-        .map(&phys, &venv, &mut rng)
-        .expect("maps");
+    let out = Hmn::with_config(HmnConfig {
+        migration: MigrationPolicy::Off,
+        ..Default::default()
+    })
+    .map(&phys, &venv, &mut rng)
+    .expect("maps");
     assert_eq!(out.mapping.host_of(a), out.mapping.host_of(b));
     let sim = run_experiment(&phys, &venv, &out.mapping, &ExperimentSpec::default());
     assert!(sim.network_s.abs() < 1e-9);

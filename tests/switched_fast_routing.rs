@@ -10,10 +10,16 @@ use std::time::Instant;
 #[test]
 fn switched_routes_are_exactly_host_switch_host() {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 20.0, density: 0.01, workload: WorkloadKind::LowLevel };
+    let scenario = Scenario {
+        ratio: 20.0,
+        density: 0.01,
+        workload: WorkloadKind::LowLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, 0, 3);
     let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-    let out = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("maps");
+    let out = Hmn::new()
+        .map(&inst.phys, &inst.venv, &mut rng)
+        .expect("maps");
     for l in inst.venv.link_ids() {
         let route = out.mapping.route_of(l);
         if !route.is_intra_host() {
@@ -34,17 +40,26 @@ fn switched_mapping_is_sub_second_even_at_50_to_1() {
     // in debug builds; release is milliseconds).
     let budget = if cfg!(debug_assertions) { 30.0 } else { 1.0 };
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 50.0, density: 0.01, workload: WorkloadKind::LowLevel };
+    let scenario = Scenario {
+        ratio: 50.0,
+        density: 0.01,
+        workload: WorkloadKind::LowLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, 0, 4);
     let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
     let start = Instant::now();
-    let out = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("maps");
+    let out = Hmn::new()
+        .map(&inst.phys, &inst.venv, &mut rng)
+        .expect("maps");
     let elapsed = start.elapsed().as_secs_f64();
     assert!(
         elapsed < budget,
         "switched mapping took {elapsed:.2}s (budget {budget}s)"
     );
-    assert_eq!(validate_mapping(&inst.phys, &inst.venv, &out.mapping), Ok(()));
+    assert_eq!(
+        validate_mapping(&inst.phys, &inst.venv, &out.mapping),
+        Ok(())
+    );
 }
 
 #[test]
@@ -57,23 +72,36 @@ fn switched_dijkstra_cache_needs_at_most_one_run_per_destination_host() {
     use emumap::mapping::{hosting::hosting_stage, PlacementState};
 
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 30.0, density: 0.01, workload: WorkloadKind::LowLevel };
+    let scenario = Scenario {
+        ratio: 30.0,
+        density: 0.01,
+        workload: WorkloadKind::LowLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_switched(), &scenario, 0, 5);
     let links = links_by_descending_bw(&inst.venv);
     let mut st = PlacementState::new(&inst.phys, &inst.venv);
     hosting_stage(&mut st, &links).expect("hostable");
     let (_, stats) = networking_stage(&mut st, &links, &Default::default()).expect("routable");
     assert!(stats.dijkstra_runs <= inst.phys.host_count());
-    assert!(stats.routed_links > stats.dijkstra_runs, "cache actually pays off");
+    assert!(
+        stats.routed_links > stats.dijkstra_runs,
+        "cache actually pays off"
+    );
 }
 
 #[test]
 fn torus_routes_respect_latency_bounds_and_stay_short() {
     let cluster = ClusterSpec::paper();
-    let scenario = Scenario { ratio: 5.0, density: 0.02, workload: WorkloadKind::HighLevel };
+    let scenario = Scenario {
+        ratio: 5.0,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
     let inst = instantiate(&cluster, ClusterSpec::paper_torus(), &scenario, 0, 6);
     let mut rng = SmallRng::seed_from_u64(inst.mapper_seed);
-    let out = Hmn::new().map(&inst.phys, &inst.venv, &mut rng).expect("maps");
+    let out = Hmn::new()
+        .map(&inst.phys, &inst.venv, &mut rng)
+        .expect("maps");
     for l in inst.venv.link_ids() {
         let route = out.mapping.route_of(l);
         let bound = inst.venv.link(l).lat.value();

@@ -33,12 +33,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter` form.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{parameter}", function_name.into()) }
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
     }
 
     /// Parameter-only form.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -66,7 +70,10 @@ impl SampleSummary {
 
     /// Fastest sample in seconds.
     pub fn min_s(&self) -> f64 {
-        self.samples.iter().map(Duration::as_secs_f64).fold(f64::INFINITY, f64::min)
+        self.samples
+            .iter()
+            .map(Duration::as_secs_f64)
+            .fold(f64::INFINITY, f64::min)
     }
 }
 

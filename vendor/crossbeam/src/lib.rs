@@ -53,12 +53,17 @@ pub mod queue {
     impl<T> SegQueue<T> {
         /// Creates an empty queue.
         pub fn new() -> Self {
-            SegQueue { inner: Mutex::new(VecDeque::new()) }
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
         }
 
         /// Enqueues an element.
         pub fn push(&self, value: T) {
-            self.inner.lock().expect("SegQueue poisoned").push_back(value);
+            self.inner
+                .lock()
+                .expect("SegQueue poisoned")
+                .push_back(value);
         }
 
         /// Dequeues the oldest element, `None` when empty.

@@ -12,7 +12,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the protected value.
@@ -56,7 +58,9 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Creates an RwLock protecting `value`.
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the protected value.

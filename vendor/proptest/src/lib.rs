@@ -75,7 +75,10 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map { strategy: self, func: f }
+        Map {
+            strategy: self,
+            func: f,
+        }
     }
 }
 
@@ -272,9 +275,7 @@ pub fn run_proptest(
                 }
             }
             Err(test_runner::TestCaseError::Fail(msg)) => {
-                panic!(
-                    "proptest {name} failed at iteration {iteration} (seed {seed:#x}): {msg}"
-                );
+                panic!("proptest {name} failed at iteration {iteration} (seed {seed:#x}): {msg}");
             }
         }
         iteration += 1;
@@ -340,14 +341,14 @@ macro_rules! prop_assert_ne {
     ($left:expr, $right:expr $(,)?) => {{
         let (__l, __r) = (&$left, &$right);
         if *__l == *__r {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::fail(::std::format!(
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
                     "assertion failed: `{} != {}`\n  both: {:?}",
                     ::std::stringify!($left),
                     ::std::stringify!($right),
                     __l
-                )),
-            );
+                ),
+            ));
         }
     }};
 }
@@ -358,11 +359,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr $(,)?) => {
         if !($cond) {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::reject(
-                    ::std::concat!("assumption failed: ", ::std::stringify!($cond)),
-                ),
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                ::std::concat!("assumption failed: ", ::std::stringify!($cond)),
+            ));
         }
     };
 }

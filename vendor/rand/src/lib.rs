@@ -265,10 +265,7 @@ pub mod rngs {
         #[inline]
         fn step(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -308,7 +305,10 @@ pub mod rngs {
             /// Creates a generator starting at `initial`, stepping by
             /// `increment`.
             pub fn new(initial: u64, increment: u64) -> Self {
-                StepRng { value: initial, increment }
+                StepRng {
+                    value: initial,
+                    increment,
+                }
             }
         }
 

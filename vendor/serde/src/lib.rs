@@ -58,7 +58,10 @@ impl Value {
     pub fn expect_object(&self, ctx: &str) -> Result<&[(String, Value)], DeError> {
         match self {
             Value::Object(pairs) => Ok(pairs),
-            other => Err(DeError::new(format!("{ctx}: expected object, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "{ctx}: expected object, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -66,7 +69,10 @@ impl Value {
     pub fn expect_array(&self, ctx: &str) -> Result<&[Value], DeError> {
         match self {
             Value::Array(items) => Ok(items),
-            other => Err(DeError::new(format!("{ctx}: expected array, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "{ctx}: expected array, found {}",
+                other.kind()
+            ))),
         }
     }
 
@@ -92,7 +98,9 @@ pub struct DeError {
 impl DeError {
     /// Creates an error from a message.
     pub fn new(message: impl Into<String>) -> Self {
-        DeError { message: message.into() }
+        DeError {
+            message: message.into(),
+        }
     }
 }
 
@@ -143,8 +151,7 @@ pub fn __field<T: Deserialize>(
     ctx: &str,
 ) -> Result<T, DeError> {
     match pairs.iter().find(|(k, _)| k == key) {
-        Some((_, v)) => T::from_value(v)
-            .map_err(|e| DeError::new(format!("{ctx}.{key}: {e}"))),
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError::new(format!("{ctx}.{key}: {e}"))),
         None => Err(DeError::new(format!("{ctx}: missing field `{key}`"))),
     }
 }
@@ -163,7 +170,10 @@ impl Deserialize for bool {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Bool(b) => Ok(*b),
-            other => Err(DeError::new(format!("expected bool, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected bool, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -250,7 +260,10 @@ impl Deserialize for f64 {
             Value::Str(s) if s == "Infinity" => Ok(f64::INFINITY),
             Value::Str(s) if s == "-Infinity" => Ok(f64::NEG_INFINITY),
             Value::Str(s) if s == "NaN" => Ok(f64::NAN),
-            other => Err(DeError::new(format!("expected number, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -277,7 +290,10 @@ impl Deserialize for String {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Str(s) => Ok(s.clone()),
-            other => Err(DeError::new(format!("expected string, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -298,7 +314,10 @@ impl Deserialize for char {
     fn from_value(value: &Value) -> Result<Self, DeError> {
         match value {
             Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
-            other => Err(DeError::new(format!("expected single-char string, found {}", other.kind()))),
+            other => Err(DeError::new(format!(
+                "expected single-char string, found {}",
+                other.kind()
+            ))),
         }
     }
 }
@@ -433,7 +452,10 @@ mod tests {
         assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
         assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
         assert!(bool::from_value(&true.to_value()).unwrap());
-        assert_eq!(String::from_value(&"hi".to_string().to_value()).unwrap(), "hi");
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
         assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
     }
 

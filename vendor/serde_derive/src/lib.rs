@@ -184,7 +184,10 @@ fn parse_input(input: TokenStream) -> Input {
     } else if is_ident(&tokens[i], "enum") {
         true
     } else {
-        panic!("derive: expected `struct` or `enum`, found {:?}", tokens[i].to_string());
+        panic!(
+            "derive: expected `struct` or `enum`, found {:?}",
+            tokens[i].to_string()
+        );
     };
     i += 1;
     let name = match &tokens[i] {
@@ -201,11 +204,19 @@ fn parse_input(input: TokenStream) -> Input {
         if let Some(TokenTree::Group(g)) = tokens.get(i) {
             if g.delimiter() == Delimiter::Parenthesis {
                 let fields = split_top_level(g.stream().into_iter().collect()).len();
-                return Input { name, generics, kind: Kind::TupleStruct(fields) };
+                return Input {
+                    name,
+                    generics,
+                    kind: Kind::TupleStruct(fields),
+                };
             }
         }
         if tokens.get(i).map(|t| is_punct(t, ';')).unwrap_or(false) {
-            return Input { name, generics, kind: Kind::UnitStruct };
+            return Input {
+                name,
+                generics,
+                kind: Kind::UnitStruct,
+            };
         }
     }
     // Skip a where clause, if any, to the brace-delimited body.
@@ -218,7 +229,11 @@ fn parse_input(input: TokenStream) -> Input {
                 } else {
                     Kind::NamedStruct(parse_named_fields(body))
                 };
-                return Input { name, generics, kind };
+                return Input {
+                    name,
+                    generics,
+                    kind,
+                };
             }
         }
         i += 1;
@@ -231,8 +246,11 @@ fn impl_header(trait_path: &str, input: &Input) -> String {
     if input.generics.is_empty() {
         format!("impl {trait_path} for {}", input.name)
     } else {
-        let bounded: Vec<String> =
-            input.generics.iter().map(|g| format!("{g}: {trait_path}")).collect();
+        let bounded: Vec<String> = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {trait_path}"))
+            .collect();
         format!(
             "impl<{}> {trait_path} for {}<{}>",
             bounded.join(", "),
@@ -250,8 +268,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Kind::UnitStruct => "::serde::Value::Null".to_string(),
         Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
         Kind::TupleStruct(n) => {
-            let items: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
             format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
         }
         Kind::NamedStruct(fields) => {
@@ -264,7 +283,10 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                     )
                 })
                 .collect();
-            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
         }
         Kind::Enum(variants) => {
             let arms: Vec<String> = variants
@@ -323,7 +345,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
         impl_header("::serde::Serialize", &input)
     );
-    code.parse().expect("derive(Serialize): generated code failed to parse")
+    code.parse()
+        .expect("derive(Serialize): generated code failed to parse")
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -337,9 +360,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
              __other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\
              \"{name}: expected null, found {{}}\", __other.kind()))) }}"
         ),
-        Kind::TupleStruct(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))"
-        ),
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
         Kind::TupleStruct(n) => {
             let items: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
@@ -434,5 +457,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
          -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
         impl_header("::serde::Deserialize", &input)
     );
-    code.parse().expect("derive(Deserialize): generated code failed to parse")
+    code.parse()
+        .expect("derive(Deserialize): generated code failed to parse")
 }

@@ -17,7 +17,9 @@ pub struct Error {
 
 impl Error {
     fn new(message: impl Into<String>) -> Self {
-        Error { message: message.into() }
+        Error {
+            message: message.into(),
+        }
     }
 }
 
@@ -181,7 +183,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn err(&self, msg: &str) -> Error {
@@ -330,13 +335,11 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let code =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(code)
                                     .ok_or_else(|| self.err("invalid surrogate pair"))?
                             } else {
-                                char::from_u32(hi)
-                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
                             };
                             out.push(c);
                         }
@@ -347,9 +350,7 @@ impl<'a> Parser<'a> {
                     // Copy a full UTF-8 scalar from the source.
                     let start = self.pos;
                     self.pos += 1;
-                    while self.pos < self.bytes.len()
-                        && (self.bytes[self.pos] & 0xC0) == 0x80
-                    {
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
                     let s = std::str::from_utf8(&self.bytes[start..self.pos])
