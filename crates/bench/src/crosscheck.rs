@@ -1,0 +1,217 @@
+//! Differential cross-checking of heuristic trials against the exact
+//! branch-and-bound oracle.
+//!
+//! A batch grid produces, per instance, a set of heuristic mappings. On
+//! instances small enough for the oracle ([`CrossCheck::applies`]), those
+//! mappings become the oracle's *witnesses* and the oracle's verdict
+//! becomes a certificate the trial results must agree with:
+//!
+//! 1. every successful mapping must pass `validate_mapping` (Eqs. 1–9);
+//! 2. the oracle must not report infeasible when any heuristic succeeded;
+//! 3. no heuristic objective may undercut the certified lower bound.
+//!
+//! Any disagreement is a bug in either the heuristic, the validator, or
+//! the oracle — exactly the class of defect differential testing exists
+//! to catch. The check is wired into `emumap batch --exact-check N`.
+
+use emumap_core::exact::EPSILON;
+use emumap_core::{solve_exact_with, ExactConfig, ExactOutcome, ExactStatus, MapCache};
+use emumap_model::{validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment};
+
+/// A heuristic trial result offered for certification: the mapper's name
+/// (for disagreement messages), its Eq. 10 objective, and its mapping.
+#[derive(Clone, Debug)]
+pub struct TrialWitness {
+    /// Mapper name ("HMN", "SA", ...).
+    pub mapper: String,
+    /// The objective the harness recorded for the mapping.
+    pub objective: f64,
+    /// The mapping itself.
+    pub mapping: Mapping,
+}
+
+/// Size-gated oracle cross-check for batch grids.
+#[derive(Clone, Copy, Debug)]
+pub struct CrossCheck {
+    /// Only instances with at most this many guests are cross-checked
+    /// (the oracle is exponential in the guest count).
+    pub max_guests: usize,
+    /// Oracle configuration.
+    pub config: ExactConfig,
+}
+
+impl Default for CrossCheck {
+    fn default() -> Self {
+        CrossCheck {
+            max_guests: 10,
+            config: ExactConfig::default(),
+        }
+    }
+}
+
+/// The outcome of certifying one instance's trials.
+#[derive(Debug)]
+pub struct CrossCheckReport {
+    /// The oracle's verdict (with the trials as witnesses).
+    pub outcome: ExactOutcome,
+    /// Human-readable disagreements; empty means the instance certifies.
+    pub disagreements: Vec<String>,
+}
+
+impl CrossCheckReport {
+    /// `true` when every trial agreed with the oracle.
+    pub fn ok(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+impl CrossCheck {
+    /// A cross-check with the given guest-count cutoff.
+    pub fn new(max_guests: usize) -> Self {
+        CrossCheck {
+            max_guests,
+            ..Default::default()
+        }
+    }
+
+    /// Whether this instance is small enough to certify.
+    pub fn applies(&self, venv: &VirtualEnvironment) -> bool {
+        venv.guest_count() <= self.max_guests
+    }
+
+    /// Runs the oracle with `trials` as witnesses and checks the three
+    /// differential invariants. Call only when [`applies`](Self::applies).
+    pub fn certify(
+        &self,
+        phys: &PhysicalTopology,
+        venv: &VirtualEnvironment,
+        trials: &[TrialWitness],
+        cache: &mut MapCache,
+    ) -> CrossCheckReport {
+        let mut disagreements = Vec::new();
+
+        // Invariant 1: every accepted mapping validates.
+        for t in trials {
+            if let Err(violations) = validate_mapping(phys, venv, &t.mapping) {
+                for v in violations {
+                    disagreements.push(format!("{}: invalid mapping: {v}", t.mapper));
+                }
+            }
+        }
+
+        let witnesses: Vec<Mapping> = trials.iter().map(|t| t.mapping.clone()).collect();
+        let outcome = solve_exact_with(phys, venv, &self.config, cache, &witnesses);
+
+        // Invariant 2: a success refutes infeasibility. (Structural when
+        // the witness validated — so a hit here doubles as a validator /
+        // oracle disagreement.)
+        if outcome.status == ExactStatus::Infeasible && !trials.is_empty() {
+            disagreements.push(format!(
+                "oracle reports infeasible but {} mapper(s) succeeded",
+                trials.len()
+            ));
+        }
+
+        // Invariant 3: nobody beats the certified lower bound.
+        if outcome.lower_bound.is_finite() {
+            for t in trials {
+                if t.objective < outcome.lower_bound - EPSILON {
+                    disagreements.push(format!(
+                        "{}: objective {} undercuts the certified lower bound {}",
+                        t.mapper, t.objective, outcome.lower_bound
+                    ));
+                }
+            }
+        }
+
+        CrossCheckReport {
+            outcome,
+            disagreements,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::ParallelRunner;
+    use emumap_core::{Hmn, Mapper};
+    use emumap_model::Route;
+    use emumap_workloads::oracle_smoke;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn applies_is_a_guest_count_gate() {
+        let (_, venv) = oracle_smoke(1);
+        assert!(CrossCheck::new(8).applies(&venv));
+        assert!(!CrossCheck::new(7).applies(&venv));
+    }
+
+    #[test]
+    fn hmn_certifies_on_the_smoke_instance() {
+        let (phys, venv) = oracle_smoke(2009);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let out = Hmn::new().map(&phys, &venv, &mut rng).expect("HMN maps");
+        let trials = vec![TrialWitness {
+            mapper: "HMN".into(),
+            objective: out.objective,
+            mapping: out.mapping,
+        }];
+        let report = CrossCheck::default().certify(&phys, &venv, &trials, &mut MapCache::new());
+        assert!(report.ok(), "disagreements: {:?}", report.disagreements);
+        assert!(report.outcome.best.is_some());
+        let best = report.outcome.best.as_ref().unwrap();
+        assert!(best.objective <= trials[0].objective + EPSILON);
+    }
+
+    #[test]
+    fn corrupted_witness_is_reported() {
+        let (phys, venv) = oracle_smoke(7);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let out = Hmn::new().map(&phys, &venv, &mut rng).expect("HMN maps");
+        // Break Eq. 1: drop the last guest from the placement.
+        let mut placement = out.mapping.placement().to_vec();
+        placement.pop();
+        let routes: Vec<Route> = out.mapping.routes().to_vec();
+        let corrupt = Mapping::new(placement, routes);
+        let trials = vec![TrialWitness {
+            mapper: "HMN".into(),
+            objective: out.objective,
+            mapping: corrupt,
+        }];
+        let report = CrossCheck::default().certify(&phys, &venv, &trials, &mut MapCache::new());
+        assert!(!report.ok());
+        assert!(report.disagreements[0].contains("invalid mapping"));
+        // The corrupt witness must NOT have been fed to the oracle as an
+        // incumbent.
+        assert_eq!(report.outcome.stats.witnesses_accepted, 0);
+    }
+
+    #[test]
+    fn certification_fans_out_over_the_parallel_runner() {
+        // One certify per seed, each on a worker with its own warm cache —
+        // the shape `batch --exact-check` uses.
+        let runner = ParallelRunner::new(2);
+        let seeds: Vec<u64> = (0..4).collect();
+        let reports = runner.run(seeds, |seed, cache| {
+            let (phys, venv) = oracle_smoke(seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let trials: Vec<TrialWitness> = Hmn::new()
+                .map_with_cache(&phys, &venv, &mut rng, cache)
+                .ok()
+                .map(|o| TrialWitness {
+                    mapper: "HMN".into(),
+                    objective: o.objective,
+                    mapping: o.mapping,
+                })
+                .into_iter()
+                .collect();
+            let report = CrossCheck::default().certify(&phys, &venv, &trials, cache);
+            (report.ok(), report.disagreements)
+        });
+        for (ok, disagreements) in reports {
+            assert!(ok, "disagreements: {disagreements:?}");
+        }
+    }
+}

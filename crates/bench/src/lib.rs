@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod crosscheck;
 pub mod parallel;
 pub mod report;
 pub mod runner;

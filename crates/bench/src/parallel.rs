@@ -32,6 +32,8 @@ pub struct PhaseTotals {
     pub migration_us: u64,
     /// Total microseconds spent in Networking phase spans.
     pub networking_us: u64,
+    /// Total microseconds spent in Exact (branch-and-bound oracle) spans.
+    pub exact_us: u64,
     /// Phase spans folded in (0 means the trials emitted no spans — e.g. a
     /// mapper without phase instrumentation).
     pub spans: u64,
@@ -51,6 +53,11 @@ impl PhaseTotals {
     /// Networking total in seconds.
     pub fn networking_s(&self) -> f64 {
         self.networking_us as f64 / 1e6
+    }
+
+    /// Exact-oracle total in seconds.
+    pub fn exact_s(&self) -> f64 {
+        self.exact_us as f64 / 1e6
     }
 }
 
@@ -72,6 +79,7 @@ impl EventSink for PhaseTotalsSink {
                 Phase::Hosting => t.hosting_us += elapsed_us,
                 Phase::Migration => t.migration_us += elapsed_us,
                 Phase::Networking => t.networking_us += elapsed_us,
+                Phase::Exact => t.exact_us += elapsed_us,
             }
             t.spans += 1;
         }

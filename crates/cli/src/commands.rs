@@ -1,14 +1,16 @@
 //! Subcommand implementations.
 
 use crate::args::Parsed;
+use emumap_bench::crosscheck::{CrossCheck, TrialWitness};
 use emumap_bench::parallel::ParallelRunner;
 use emumap_core::{
-    cluster_diagnostics, BestFit, ConsolidatingHmn, FirstFitDecreasing, HeuristicPool, Hmn,
-    HostingDfs, MapCache, MapOutcome, Mapper, PoolPolicy, RandomAStar, RandomDfs, WorstFit,
+    cluster_diagnostics, solve_exact_with, BestFit, ConsolidatingHmn, ExactConfig, ExactStatus,
+    FirstFitDecreasing, HeuristicPool, Hmn, HostingDfs, MapCache, MapOutcome, Mapper, PoolPolicy,
+    RandomAStar, RandomDfs, WorstFit,
 };
 use emumap_model::{validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment};
 use emumap_sim::{run_experiment, ExperimentSpec};
-use emumap_workloads::{ClusterSpec, ClusterTopology, VirtualEnvSpec};
+use emumap_workloads::{oracle_smoke, ClusterSpec, ClusterTopology, VirtualEnvSpec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::path::Path;
@@ -64,13 +66,25 @@ subcommands:
   simulate --phys phys.json --venv venv.json --mapping mapping.json
       [--rounds N] [--work-factor F] [--msg-kbits K]
       run the emulated experiment and print its execution time
+  exact --phys phys.json --venv venv.json | exact --smoke SEED
+      [--seed S] [--max-nodes N] [--trace events.jsonl] [-o mapping.json]
+      certify the optimal Eq. 10 objective by branch-and-bound (small
+      instances only: the search is exponential in the guest count),
+      seeding HMN's mapping as the incumbent; prints the certified
+      optimum, the admissible lower bound, search counters and HMN's
+      optimality gap; --smoke SEED uses a built-in 6-host/8-guest
+      instance instead of --phys/--venv
   batch --phys phys.json --venv venv.json
       [--mapper NAME[,NAME..]|all] [--reps N] [--seed S] [--threads T]
-      [--attempts A] [-o trials.json] [--trace-dir DIR]
+      [--attempts A] [-o trials.json] [--trace-dir DIR] [--exact-check G]
       run repeated mapping trials across a worker pool (per-worker warm
       caches; deterministic at any thread count) and print per-mapper
       success rates, mean objective and mean mapping time; --trace-dir
-      writes one trace_MAPPER_repNNN.jsonl event stream per trial
+      writes one trace_MAPPER_repNNN.jsonl event stream per trial;
+      --exact-check G cross-checks every successful trial against the
+      exact oracle when the instance has at most G guests (an invalid
+      mapping, a refuted infeasibility or an objective below the
+      certified lower bound fails the run)
   inspect --phys phys.json [--venv venv.json] [--mapping mapping.json]
       [--dot out.dot]
       summarize a topology / environment / mapping; optionally export the
@@ -140,6 +154,7 @@ pub fn run(parsed: &Parsed) -> Result<Vec<String>, CliError> {
         "gen-cluster" => gen_cluster(parsed),
         "gen-venv" => gen_venv(parsed),
         "map" => map_cmd(parsed),
+        "exact" => exact_cmd(parsed),
         "validate" => validate_cmd(parsed),
         "simulate" => simulate_cmd(parsed),
         "batch" => batch_cmd(parsed),
@@ -296,6 +311,124 @@ fn map_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     Ok(lines)
 }
 
+fn exact_status_str(status: ExactStatus) -> &'static str {
+    match status {
+        ExactStatus::Optimal => "OPTIMAL (certified)",
+        ExactStatus::Infeasible => "INFEASIBLE (certified)",
+        ExactStatus::Truncated => "TRUNCATED (bound only; raise --max-nodes)",
+    }
+}
+
+fn exact_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
+    let (phys, venv): (PhysicalTopology, VirtualEnvironment) = match p.optional("smoke") {
+        Some(raw) => {
+            let seed: u64 = raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--smoke expects a seed, got '{raw}'")))?;
+            oracle_smoke(seed)
+        }
+        None => (
+            read_json(p.required("phys").map_err(CliError::Usage)?)?,
+            read_json(p.required("venv").map_err(CliError::Usage)?)?,
+        ),
+    };
+    let seed: u64 = p.parse_or("seed", 2009).map_err(CliError::Usage)?;
+    let config = ExactConfig {
+        max_nodes: p
+            .parse_or("max-nodes", ExactConfig::default().max_nodes)
+            .map_err(CliError::Usage)?,
+        ..Default::default()
+    };
+
+    // Run HMN first (untraced) so the gap report has a heuristic to
+    // compare against and the search starts from its mapping as the
+    // incumbent; a --trace file then contains only the oracle's span.
+    let mut cache = MapCache::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hmn = Hmn::new()
+        .map_with_cache(&phys, &venv, &mut rng, &mut cache)
+        .ok();
+    if let Some(path) = p.optional("trace") {
+        let sink = emumap_trace::JsonlSink::create(path)
+            .map_err(|e| CliError::Io(format!("opening trace {path}: {e}")))?;
+        cache.trace = emumap_trace::Tracer::new(Box::new(sink));
+    }
+    let witnesses: Vec<Mapping> = hmn.iter().map(|o| o.mapping.clone()).collect();
+    let outcome = solve_exact_with(&phys, &venv, &config, &mut cache, &witnesses);
+    if let Some(mut sink) = cache.trace.take_sink() {
+        sink.flush()
+            .map_err(|e| CliError::Io(format!("writing trace: {e}")))?;
+    }
+
+    let s = &outcome.stats;
+    let mut lines = vec![
+        format!(
+            "instance        : {} hosts, {} guests, {} virtual links",
+            phys.host_count(),
+            venv.guest_count(),
+            venv.link_count()
+        ),
+        format!("status          : {}", exact_status_str(outcome.status)),
+    ];
+    match &outcome.best {
+        Some(best) => lines.push(format!(
+            "objective (Eq10): {:.3} MIPS stddev{}",
+            best.objective,
+            if outcome.is_certified() {
+                " — certified optimum"
+            } else {
+                " — best found (not certified)"
+            }
+        )),
+        None => lines.push("objective (Eq10): — (no feasible mapping found)".to_string()),
+    }
+    if outcome.lower_bound.is_finite() {
+        lines.push(format!("lower bound     : {:.3}", outcome.lower_bound));
+    }
+    lines.push(format!(
+        "search          : {} nodes expanded, {} pruned ({} bound, {} capacity, {} latency)",
+        s.nodes_expanded,
+        s.pruned_bound + s.pruned_capacity + s.pruned_latency,
+        s.pruned_bound,
+        s.pruned_capacity,
+        s.pruned_latency
+    ));
+    lines.push(format!(
+        "leaf routing    : {} attempted, {} failed, {} witness(es) accepted",
+        s.leaf_routings, s.routing_failures, s.witnesses_accepted
+    ));
+    match &hmn {
+        Some(o) => {
+            lines.push(format!("HMN objective   : {:.3} MIPS stddev", o.objective));
+            if let Some(gap) = outcome.gap_from(o.objective) {
+                let optimum = outcome.best.as_ref().map(|b| b.objective).unwrap_or(0.0);
+                let pct = if optimum > 0.0 {
+                    100.0 * gap / optimum
+                } else {
+                    0.0
+                };
+                lines.push(format!(
+                    "HMN gap         : {gap:.3} above the certified optimum ({pct:.1}%)"
+                ));
+            }
+        }
+        None => lines.push("HMN objective   : — (HMN failed on this instance)".to_string()),
+    }
+    if let Some(out) = p.optional("out") {
+        match &outcome.best {
+            Some(best) => {
+                write_json(out, &best.mapping)?;
+                lines.push(format!("wrote {out}"));
+            }
+            None => lines.push(format!("no mapping to write to {out}")),
+        }
+    }
+    if let Some(path) = p.optional("trace") {
+        lines.push(format!("wrote trace -> {path}"));
+    }
+    Ok(lines)
+}
+
 fn validate_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     let phys: PhysicalTopology = read_json(p.required("phys").map_err(CliError::Usage)?)?;
     let venv: VirtualEnvironment = read_json(p.required("venv").map_err(CliError::Usage)?)?;
@@ -359,6 +492,7 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     let attempts: usize = p
         .parse_or("attempts", emumap_core::DEFAULT_MAX_ATTEMPTS)
         .map_err(CliError::Usage)?;
+    let exact_check: usize = p.parse_or("exact-check", 0).map_err(CliError::Usage)?;
 
     let spec = p.optional("mapper").unwrap_or("hmn");
     let names: Vec<String> = if spec == "all" {
@@ -392,7 +526,9 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
 
     let runner = ParallelRunner::new(threads);
     let started = std::time::Instant::now();
-    let records: Vec<TrialRecord> = runner.run(work, |(mi, rep), cache| {
+    // Each trial also carries its mapping back so --exact-check can feed
+    // the successes to the oracle as witnesses.
+    let results: Vec<(TrialRecord, Option<Mapping>)> = runner.run(work, |(mi, rep), cache| {
         let mapper = build_mapper(&names[mi], attempts).expect("validated above");
         let s = trial_seed(mi, rep);
         let mut rng = SmallRng::seed_from_u64(s);
@@ -409,29 +545,36 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
             let _ = sink.flush();
         }
         match mapped {
-            Ok(o) => TrialRecord {
-                mapper: names[mi].clone(),
-                rep,
-                seed: s,
-                ok: true,
-                objective: Some(o.objective),
-                map_time_s: Some(o.stats.total_time.as_secs_f64()),
-                routed_links: Some(o.stats.routed_links),
-                networking_time_s: Some(o.stats.networking_time.as_secs_f64()),
-            },
-            Err(_) => TrialRecord {
-                mapper: names[mi].clone(),
-                rep,
-                seed: s,
-                ok: false,
-                objective: None,
-                map_time_s: None,
-                routed_links: None,
-                networking_time_s: None,
-            },
+            Ok(o) => (
+                TrialRecord {
+                    mapper: names[mi].clone(),
+                    rep,
+                    seed: s,
+                    ok: true,
+                    objective: Some(o.objective),
+                    map_time_s: Some(o.stats.total_time.as_secs_f64()),
+                    routed_links: Some(o.stats.routed_links),
+                    networking_time_s: Some(o.stats.networking_time.as_secs_f64()),
+                },
+                Some(o.mapping),
+            ),
+            Err(_) => (
+                TrialRecord {
+                    mapper: names[mi].clone(),
+                    rep,
+                    seed: s,
+                    ok: false,
+                    objective: None,
+                    map_time_s: None,
+                    routed_links: None,
+                    networking_time_s: None,
+                },
+                None,
+            ),
         }
     });
     let wall = started.elapsed();
+    let (records, mappings): (Vec<TrialRecord>, Vec<Option<Mapping>>) = results.into_iter().unzip();
 
     let mut lines = vec![format!(
         "batch           : {} trials ({} mappers x {} reps) on {} threads in {:.3}s",
@@ -460,6 +603,42 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
             fmt(mean(|r| r.objective), 1),
             fmt(mean(|r| r.map_time_s), 4),
         ));
+    }
+    if exact_check > 0 {
+        let check = CrossCheck::new(exact_check);
+        if check.applies(&venv) {
+            let trials: Vec<TrialWitness> = records
+                .iter()
+                .zip(&mappings)
+                .filter_map(|(r, m)| {
+                    m.as_ref().map(|mapping| TrialWitness {
+                        mapper: r.mapper.clone(),
+                        objective: r.objective.unwrap_or(f64::INFINITY),
+                        mapping: mapping.clone(),
+                    })
+                })
+                .collect();
+            let report = check.certify(&phys, &venv, &trials, &mut MapCache::new());
+            let bound = if report.outcome.lower_bound.is_finite() {
+                format!("{:.3}", report.outcome.lower_bound)
+            } else {
+                "∞".to_string()
+            };
+            lines.push(format!(
+                "exact-check     : {} — {} witness(es) certified against lower bound {}",
+                exact_status_str(report.outcome.status),
+                trials.len(),
+                bound
+            ));
+            if !report.ok() {
+                return Err(CliError::Invalid(report.disagreements));
+            }
+        } else {
+            lines.push(format!(
+                "exact-check     : skipped ({} guests exceed the {exact_check}-guest cutoff)",
+                venv.guest_count()
+            ));
+        }
     }
     if let Some(out) = p.optional("out") {
         write_json(out, &records)?;
@@ -1111,6 +1290,135 @@ mod tests {
                     serde_json::from_str(line).expect("every line parses");
             }
         }
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn exact_smoke_certifies_and_reports_the_hmn_gap() {
+        let lines = run_tokens(&["exact", "--smoke", "2009"]).expect("exact");
+        let text = lines.join("\n");
+        assert!(text.contains("OPTIMAL (certified)"), "{text}");
+        assert!(text.contains("certified optimum"), "{text}");
+        assert!(text.contains("lower bound"), "{text}");
+        assert!(text.contains("nodes expanded"), "{text}");
+        assert!(text.contains("HMN objective"), "{text}");
+        assert!(text.contains("HMN gap"), "{text}");
+    }
+
+    #[test]
+    fn exact_reads_instance_files_and_writes_the_mapping() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let mapping = dir.join("exact.json");
+        let (p, v) = emumap_workloads::oracle_smoke(11);
+        write_json(phys.to_str().unwrap(), &p).unwrap();
+        write_json(venv.to_str().unwrap(), &v).unwrap();
+        let lines = run_tokens(&[
+            "exact",
+            "--phys",
+            phys.to_str().unwrap(),
+            "--venv",
+            venv.to_str().unwrap(),
+            "-o",
+            mapping.to_str().unwrap(),
+        ])
+        .expect("exact");
+        assert!(lines.iter().any(|l| l.contains("wrote ")), "{lines:?}");
+        // The certified mapping must itself validate.
+        let m: Mapping = read_json(mapping.to_str().unwrap()).unwrap();
+        assert!(validate_mapping(&p, &v, &m).is_ok());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn exact_trace_contains_only_the_oracle_span() {
+        let dir = tmpdir();
+        let trace = dir.join("exact.jsonl");
+        let trace_s = trace.to_str().unwrap();
+        run_tokens(&["exact", "--smoke", "2009", "--trace", trace_s]).expect("exact");
+        let text = std::fs::read_to_string(trace_s).unwrap();
+        let events: Vec<emumap_trace::TraceEvent> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("each line parses as an event"))
+            .collect();
+        assert!(matches!(
+            events.first(),
+            Some(emumap_trace::TraceEvent::MapStart { mapper, .. }) if mapper == "EXACT"
+        ));
+        let phase_ends: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                emumap_trace::TraceEvent::PhaseEnd { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phase_ends, vec![emumap_trace::Phase::Exact]);
+        assert!(matches!(
+            events.last(),
+            Some(emumap_trace::TraceEvent::MapEnd { ok: true, .. })
+        ));
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn exact_truncates_under_a_tiny_node_budget() {
+        let lines = run_tokens(&["exact", "--smoke", "2009", "--max-nodes", "2"]).expect("exact");
+        let text = lines.join("\n");
+        assert!(text.contains("TRUNCATED"), "{text}");
+    }
+
+    #[test]
+    fn batch_exact_check_certifies_small_instances() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let (p, v) = emumap_workloads::oracle_smoke(3);
+        write_json(phys.to_str().unwrap(), &p).unwrap();
+        write_json(venv.to_str().unwrap(), &v).unwrap();
+        let lines = run_tokens(&[
+            "batch",
+            "--phys",
+            phys.to_str().unwrap(),
+            "--venv",
+            venv.to_str().unwrap(),
+            "--mapper",
+            "hmn,ffd",
+            "--reps",
+            "2",
+            "--threads",
+            "2",
+            "--exact-check",
+            "10",
+        ])
+        .expect("batch with exact-check");
+        let text = lines.join("\n");
+        assert!(text.contains("exact-check"), "{text}");
+        assert!(text.contains("witness(es) certified"), "{text}");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn batch_exact_check_skips_oversized_instances() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let (p, v) = emumap_workloads::oracle_smoke(3);
+        write_json(phys.to_str().unwrap(), &p).unwrap();
+        write_json(venv.to_str().unwrap(), &v).unwrap();
+        let lines = run_tokens(&[
+            "batch",
+            "--phys",
+            phys.to_str().unwrap(),
+            "--venv",
+            venv.to_str().unwrap(),
+            "--reps",
+            "1",
+            "--exact-check",
+            "2",
+        ])
+        .expect("batch");
+        assert!(lines.iter().any(|l| l.contains("skipped")), "{lines:?}");
         std::fs::remove_dir_all(dir).ok();
     }
 

@@ -1,0 +1,837 @@
+//! An **exact branch-and-bound oracle** for the mapping problem — the
+//! certification counterpart to the heuristics.
+//!
+//! The paper evaluates HMN only against heuristic baselines; nothing can
+//! say how far a mapping is from optimal. This module enumerates
+//! guest→host assignments with depth-first branch-and-bound and certifies
+//! the minimum Eq. 10 objective (population stddev of residual CPU,
+//! Eq. 11) over all feasible mappings:
+//!
+//! * **Bounding** — the objective depends only on the *placement* (routes
+//!   never consume CPU), so a continuous water-filling relaxation of the
+//!   unassigned CPU demand pool yields an admissible lower bound at every
+//!   partial assignment (see [`residual_stddev_lower_bound`]).
+//! * **Constraint propagation** — memory/storage are hard (Eqs. 2–3):
+//!   a branch dies when the remaining demand exceeds the remaining
+//!   aggregate capacity or some unassigned guest no longer fits on any
+//!   host. Latency bounds (Eq. 8) prune via the cached Dijkstra `ar[]`
+//!   tables: placing a link's endpoints farther apart than its bound
+//!   allows can never be routed.
+//! * **Leaf routing** — complete placements are routed with the same
+//!   A\*Prune Networking stage the heuristics use (with a Yen-KSP
+//!   fallback), so oracle feasibility subsumes heuristic feasibility.
+//! * **Budget** — a node budget degrades the search to *bound-only*
+//!   ([`ExactStatus::Truncated`]) instead of hanging: the result is then
+//!   a certified interval `[lower_bound, best]`, never a wrong claim.
+//!
+//! Routing is the one inexact step (A\*Prune and KSP are incomplete
+//! searches): when a strictly-improving placement fails to route, its
+//! objective is folded into the reported `lower_bound` instead of being
+//! discarded, which keeps `lower_bound` sound. The oracle reports
+//! [`ExactStatus::Optimal`] only when the search completed *and*
+//! `lower_bound == best`.
+
+use crate::astar_prune::AStarPruneConfig;
+use crate::cache::MapCache;
+use crate::hmn::elapsed_us;
+use crate::hosting::links_by_descending_bw;
+use crate::ksp_routing::networking_stage_ksp_with;
+use crate::networking::networking_stage_with;
+use crate::state::PlacementState;
+use emumap_graph::NodeId;
+use emumap_model::objective::mapping_objective;
+use emumap_model::{validate_mapping, GuestId, Mapping, PhysicalTopology, VirtualEnvironment};
+use emumap_trace::{Phase, PhaseCounters, TraceEvent};
+use std::time::Instant;
+
+/// Tolerance for objective comparisons: two values closer than this are
+/// considered equal, so "optimal" means optimal up to `EPSILON`.
+pub const EPSILON: f64 = 1e-9;
+
+/// Configuration of the branch-and-bound oracle.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactConfig {
+    /// Search nodes expanded before the search gives up and reports
+    /// [`ExactStatus::Truncated`] with the bounds gathered so far.
+    pub max_nodes: u64,
+    /// A\*Prune configuration for leaf routing. The default equals the
+    /// heuristics' default, so the oracle accepts every route HMN would.
+    pub astar: AStarPruneConfig,
+    /// `k` for the Yen-KSP fallback router tried when A\*Prune fails at a
+    /// leaf (`0` disables the fallback).
+    pub ksp_fallback: usize,
+    /// Prune branches whose latency bounds (Eq. 8) are already violated
+    /// by the partial placement, using the cached Dijkstra tables.
+    pub use_latency_pruning: bool,
+}
+
+impl Default for ExactConfig {
+    fn default() -> Self {
+        ExactConfig {
+            max_nodes: 200_000,
+            astar: AStarPruneConfig::default(),
+            ksp_fallback: 4,
+            use_latency_pruning: true,
+        }
+    }
+}
+
+/// How a [`solve_exact`] run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExactStatus {
+    /// The search completed and `lower_bound == best` (within
+    /// [`EPSILON`]): the incumbent is the certified optimum.
+    Optimal,
+    /// The search completed, found no feasible mapping, and no pruning
+    /// step was inexact: the instance is certified infeasible.
+    Infeasible,
+    /// The node budget ran out, or a strictly-improving placement could
+    /// not be routed by the (incomplete) route searches. Only the
+    /// interval `[lower_bound, best]` is certified.
+    Truncated,
+}
+
+/// Search-effort counters. All deterministic: the branch order is a pure
+/// function of the instance.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExactStats {
+    /// Search nodes expanded (partial assignments visited).
+    pub nodes_expanded: u64,
+    /// Subtrees pruned because the lower bound met the incumbent.
+    pub pruned_bound: u64,
+    /// Subtrees pruned by memory/storage constraint propagation.
+    pub pruned_capacity: u64,
+    /// Branches pruned by the Eq. 8 latency lower bound.
+    pub pruned_latency: u64,
+    /// Complete placements handed to the Networking stage.
+    pub leaf_routings: u64,
+    /// Leaf placements the route searches could not route.
+    pub routing_failures: u64,
+    /// Witness mappings accepted as incumbents (see [`solve_exact_with`]).
+    pub witnesses_accepted: u64,
+}
+
+impl ExactStats {
+    /// Total subtrees pruned, over every pruning rule.
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_bound + self.pruned_capacity + self.pruned_latency
+    }
+}
+
+/// A feasible mapping found by the oracle, with its Eq. 10 objective.
+#[derive(Clone, Debug)]
+pub struct ExactSolution {
+    /// The mapping (placement + committed routes); passes
+    /// [`validate_mapping`].
+    pub mapping: Mapping,
+    /// Its load-balance objective (Eq. 10).
+    pub objective: f64,
+}
+
+/// The oracle's verdict: a status, the best mapping found (if any), a
+/// certified lower bound, and effort counters.
+#[derive(Clone, Debug)]
+pub struct ExactOutcome {
+    /// How the search ended.
+    pub status: ExactStatus,
+    /// Best feasible mapping found (the certified optimum when `status`
+    /// is [`ExactStatus::Optimal`]).
+    pub best: Option<ExactSolution>,
+    /// Certified lower bound on the objective of *every* feasible
+    /// mapping. [`f64::INFINITY`] when the instance is certified
+    /// infeasible.
+    pub lower_bound: f64,
+    /// Search-effort counters.
+    pub stats: ExactStats,
+}
+
+impl ExactOutcome {
+    /// `true` when the incumbent is the certified optimum.
+    pub fn is_certified(&self) -> bool {
+        self.status == ExactStatus::Optimal
+    }
+
+    /// Optimality gap of a heuristic objective against the incumbent
+    /// (`heuristic − best`); `None` when no feasible mapping was found.
+    pub fn gap_from(&self, heuristic_objective: f64) -> Option<f64> {
+        self.best
+            .as_ref()
+            .map(|b| heuristic_objective - b.objective)
+    }
+}
+
+/// Admissible lower bound on the final population stddev of residual CPU.
+///
+/// `residuals` are the current per-host residuals and `demand` the total
+/// CPU demand still unassigned. Any completion subtracts exactly `demand`
+/// across the hosts, so the final residual vector `x` satisfies
+/// `x_i ≤ r_i` and `Σx = Σr − demand` — and the final *mean* is fixed at
+/// `(Σr − demand)/n` regardless of where the guests land. Minimizing the
+/// population stddev over that polytope therefore minimizes `Σx²`, whose
+/// optimum is the water-filling point `x_i = min(r_i, L)` with the level
+/// `L` chosen so the sum comes out right. Every real completion is a
+/// point of the polytope, so this is a true (admissible) lower bound.
+pub fn residual_stddev_lower_bound(residuals: &[f64], demand: f64) -> f64 {
+    let n = residuals.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: f64 = residuals.iter().sum();
+    let target = total - demand;
+    let mut sorted = residuals.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite residuals"));
+    // With the k largest residuals clamped to the level L and the rest
+    // untouched: k·L + Σ_{i≥k} r_i = target. Find the k whose implied L
+    // lies between sorted[k] and sorted[k-1].
+    let mut prefix = 0.0;
+    for k in 1..=n {
+        prefix += sorted[k - 1];
+        let suffix = total - prefix;
+        let level = (target - suffix) / k as f64;
+        let lo = if k < n { sorted[k] } else { f64::NEG_INFINITY };
+        if level <= sorted[k - 1] + EPSILON && level >= lo - EPSILON {
+            let mean = target / n as f64;
+            let mut var = k as f64 * (level - mean) * (level - mean);
+            for &r in &sorted[k..] {
+                var += (r - mean) * (r - mean);
+            }
+            return (var / n as f64).sqrt().max(0.0);
+        }
+    }
+    // Unreachable for finite inputs (k = n always admits a level), but
+    // stay safe: zero is always admissible.
+    0.0
+}
+
+/// Runs the oracle with a fresh cache and no witnesses. See
+/// [`solve_exact_with`].
+pub fn solve_exact(
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+    config: &ExactConfig,
+) -> ExactOutcome {
+    solve_exact_with(phys, venv, config, &mut MapCache::new(), &[])
+}
+
+/// Runs the branch-and-bound oracle.
+///
+/// `witnesses` are candidate mappings from heuristic runs: each one that
+/// passes [`validate_mapping`] is admitted as an incumbent before the
+/// search starts. This both warm-starts the pruning and makes two
+/// differential guarantees structural — the oracle never reports
+/// [`ExactStatus::Infeasible`] when a heuristic succeeded, and its best
+/// objective never exceeds a (valid) heuristic's.
+///
+/// Emits a `MapStart → PhaseStart(Exact) → … → PhaseEnd(Exact) → MapEnd`
+/// span through `cache.trace`, with the branch-and-bound counters in the
+/// phase's [`PhaseCounters`].
+pub fn solve_exact_with(
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+    config: &ExactConfig,
+    cache: &mut MapCache,
+    witnesses: &[Mapping],
+) -> ExactOutcome {
+    let start = Instant::now();
+    cache.trace.emit(|| TraceEvent::MapStart {
+        mapper: "EXACT".to_string(),
+        guests: venv.guest_count() as u64,
+        links: venv.link_count() as u64,
+    });
+    cache.trace.emit(|| TraceEvent::PhaseStart {
+        phase: Phase::Exact,
+    });
+    let phase_start = Instant::now();
+
+    let mut search = Search::new(phys, venv, *config);
+    for w in witnesses {
+        search.offer_witness(w);
+    }
+    search.run(cache);
+    let outcome = search.into_outcome();
+
+    cache.trace.emit(|| TraceEvent::PhaseEnd {
+        phase: Phase::Exact,
+        elapsed_us: elapsed_us(phase_start),
+        counters: PhaseCounters {
+            exact_nodes_expanded: outcome.stats.nodes_expanded,
+            exact_nodes_pruned: outcome.stats.pruned_total(),
+            ..Default::default()
+        },
+    });
+    cache.trace.emit(|| TraceEvent::MapEnd {
+        ok: outcome.best.is_some(),
+        objective: outcome.best.as_ref().map(|b| b.objective),
+        elapsed_us: elapsed_us(start),
+    });
+    outcome
+}
+
+/// The DFS state. Residual bookkeeping mirrors `ResidualState` semantics
+/// exactly (integer memory, `>=` storage fits, CPU unconstrained) so a
+/// leaf re-assigned into a fresh [`PlacementState`] cannot diverge.
+struct Search<'a> {
+    phys: &'a PhysicalTopology,
+    venv: &'a VirtualEnvironment,
+    config: ExactConfig,
+    hosts: Vec<NodeId>,
+    /// Branch order: guests by descending (mem, stor, proc) — the most
+    /// constrained guests first, so infeasibility surfaces high up.
+    order: Vec<GuestId>,
+    /// `suffix_demand[d]` = total CPU demand of `order[d..]`.
+    suffix_demand: Vec<f64>,
+    /// `suffix_mem[d]` / `suffix_stor[d]`: remaining hard-resource demand.
+    suffix_mem: Vec<u64>,
+    suffix_stor: Vec<f64>,
+    /// Per guest: `(peer guest, tightest latency bound over their links)`.
+    peers: Vec<Vec<(usize, f64)>>,
+    /// Guest index → assigned host slot.
+    slot_of: Vec<Option<usize>>,
+    r_proc: Vec<f64>,
+    r_mem: Vec<u64>,
+    r_stor: Vec<f64>,
+    best: f64,
+    best_mapping: Option<Mapping>,
+    lb_floor: f64,
+    truncated: bool,
+    stats: ExactStats,
+}
+
+impl<'a> Search<'a> {
+    fn new(phys: &'a PhysicalTopology, venv: &'a VirtualEnvironment, config: ExactConfig) -> Self {
+        let hosts: Vec<NodeId> = phys.hosts().to_vec();
+        let mut order: Vec<GuestId> = venv.guest_ids().collect();
+        order.sort_by(|&a, &b| {
+            let ga = venv.guest(a);
+            let gb = venv.guest(b);
+            (gb.mem.value(), gb.stor.value(), gb.proc.value())
+                .partial_cmp(&(ga.mem.value(), ga.stor.value(), ga.proc.value()))
+                .expect("finite guest specs")
+                .then(a.index().cmp(&b.index()))
+        });
+        let n = order.len();
+        let mut suffix_demand = vec![0.0; n + 1];
+        let mut suffix_mem = vec![0u64; n + 1];
+        let mut suffix_stor = vec![0.0; n + 1];
+        for d in (0..n).rev() {
+            let g = venv.guest(order[d]);
+            suffix_demand[d] = suffix_demand[d + 1] + g.proc.value();
+            suffix_mem[d] = suffix_mem[d + 1] + g.mem.value();
+            suffix_stor[d] = suffix_stor[d + 1] + g.stor.value();
+        }
+        let mut peers = vec![Vec::new(); venv.guest_count()];
+        for l in venv.link_ids() {
+            let (a, b) = venv.link_endpoints(l);
+            if a == b {
+                continue; // self-loops are always intra-host
+            }
+            let lat = venv.link(l).lat.value();
+            for (u, v) in [(a, b), (b, a)] {
+                let list: &mut Vec<(usize, f64)> = &mut peers[u.index()];
+                match list.iter_mut().find(|(p, _)| *p == v.index()) {
+                    Some(entry) => entry.1 = entry.1.min(lat),
+                    None => list.push((v.index(), lat)),
+                }
+            }
+        }
+        let r_proc: Vec<f64> = hosts
+            .iter()
+            .map(|&h| phys.effective_proc(h).value())
+            .collect();
+        let r_mem: Vec<u64> = hosts
+            .iter()
+            .map(|&h| phys.effective_mem(h).value())
+            .collect();
+        let r_stor: Vec<f64> = hosts
+            .iter()
+            .map(|&h| phys.effective_stor(h).value())
+            .collect();
+        Search {
+            phys,
+            venv,
+            config,
+            hosts,
+            order,
+            suffix_demand,
+            suffix_mem,
+            suffix_stor,
+            peers,
+            slot_of: vec![None; venv.guest_count()],
+            r_proc,
+            r_mem,
+            r_stor,
+            best: f64::INFINITY,
+            best_mapping: None,
+            lb_floor: f64::INFINITY,
+            truncated: false,
+            stats: ExactStats::default(),
+        }
+    }
+
+    /// Admits a heuristic mapping as an incumbent if it is valid and
+    /// strictly better than the current best.
+    fn offer_witness(&mut self, mapping: &Mapping) {
+        if validate_mapping(self.phys, self.venv, mapping).is_err() {
+            return;
+        }
+        let objective = mapping_objective(self.phys, self.venv, mapping);
+        if objective < self.best {
+            self.best = objective;
+            self.best_mapping = Some(mapping.clone());
+        }
+        self.stats.witnesses_accepted += 1;
+    }
+
+    fn run(&mut self, cache: &mut MapCache) {
+        cache.topo.prepare(self.phys);
+        self.dfs(0, cache);
+    }
+
+    fn dfs(&mut self, depth: usize, cache: &mut MapCache) {
+        if self.stats.nodes_expanded >= self.config.max_nodes {
+            self.truncated = true;
+            return;
+        }
+        self.stats.nodes_expanded += 1;
+
+        let lb = residual_stddev_lower_bound(&self.r_proc, self.suffix_demand[depth]);
+        if lb >= self.best - EPSILON {
+            self.stats.pruned_bound += 1;
+            return;
+        }
+        if depth == self.order.len() {
+            // Strictly-improving complete placement: try to route it.
+            self.stats.leaf_routings += 1;
+            match self.route_leaf(cache) {
+                Some((mapping, objective)) => {
+                    self.best = objective;
+                    self.best_mapping = Some(mapping);
+                }
+                None => {
+                    // The placement may still be routable by an exhaustive
+                    // router; keep the bound honest instead of excluding it.
+                    self.stats.routing_failures += 1;
+                    self.lb_floor = self.lb_floor.min(lb);
+                }
+            }
+            return;
+        }
+        if !self.capacity_feasible(depth) {
+            self.stats.pruned_capacity += 1;
+            return;
+        }
+
+        let guest = self.order[depth];
+        let spec = *self.venv.guest(guest);
+        // Most-loaded-last: descending residual CPU spreads load early, so
+        // good incumbents arrive fast. Ties break on slot index for
+        // determinism.
+        let mut slots: Vec<usize> = (0..self.hosts.len()).collect();
+        slots.sort_by(|&a, &b| {
+            self.r_proc[b]
+                .partial_cmp(&self.r_proc[a])
+                .expect("finite residuals")
+                .then(a.cmp(&b))
+        });
+        for slot in slots {
+            if self.r_mem[slot] < spec.mem.value() || self.r_stor[slot] < spec.stor.value() {
+                continue;
+            }
+            if self.config.use_latency_pruning && !self.latency_admits(guest, slot, cache) {
+                self.stats.pruned_latency += 1;
+                continue;
+            }
+            self.slot_of[guest.index()] = Some(slot);
+            self.r_proc[slot] -= spec.proc.value();
+            self.r_mem[slot] -= spec.mem.value();
+            self.r_stor[slot] -= spec.stor.value();
+            self.dfs(depth + 1, cache);
+            self.slot_of[guest.index()] = None;
+            self.r_proc[slot] += spec.proc.value();
+            self.r_mem[slot] += spec.mem.value();
+            self.r_stor[slot] += spec.stor.value();
+            if self.truncated {
+                // Unexplored siblings' subtrees all bound below by this
+                // frame's entry lb (bounds only tighten down the tree).
+                self.lb_floor = self.lb_floor.min(lb);
+                return;
+            }
+        }
+    }
+
+    /// Exact propagation of the hard constraints (Eqs. 2–3): aggregate
+    /// remaining demand must fit the aggregate residuals, and every
+    /// unassigned guest must still fit on *some* host individually.
+    fn capacity_feasible(&self, depth: usize) -> bool {
+        let total_mem: u64 = self.r_mem.iter().sum();
+        if total_mem < self.suffix_mem[depth] {
+            return false;
+        }
+        let total_stor: f64 = self.r_stor.iter().sum();
+        if total_stor < self.suffix_stor[depth] {
+            return false;
+        }
+        self.order[depth..].iter().all(|&g| {
+            let spec = self.venv.guest(g);
+            (0..self.hosts.len())
+                .any(|s| self.r_mem[s] >= spec.mem.value() && self.r_stor[s] >= spec.stor.value())
+        })
+    }
+
+    /// Eq. 8 check against already-placed peers: even the latency-shortest
+    /// path must respect each link's bound, so a placement violating it
+    /// can never be routed — an exact prune.
+    fn latency_admits(&mut self, guest: GuestId, slot: usize, cache: &mut MapCache) -> bool {
+        let host = self.hosts[slot];
+        for i in 0..self.peers[guest.index()].len() {
+            let (peer, bound) = self.peers[guest.index()][i];
+            let Some(peer_slot) = self.slot_of[peer] else {
+                continue;
+            };
+            let peer_host = self.hosts[peer_slot];
+            if peer_host == host {
+                continue; // intra-host: no route, no latency
+            }
+            let (ar, _) = cache.topo.ar_and_csr(self.phys, peer_host);
+            if ar[host.index()] > bound + EPSILON {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Routes a complete placement on a fresh [`PlacementState`] (route
+    /// commitments must not leak into the search residuals), trying
+    /// A\*Prune first and Yen-KSP as a fallback.
+    fn route_leaf(&self, cache: &mut MapCache) -> Option<(Mapping, f64)> {
+        let links = links_by_descending_bw(self.venv);
+        let astar = self.config.astar;
+        let routed = self
+            .with_fresh_state(|state| networking_stage_with(state, &links, &astar, cache).ok())?;
+        let routed = match routed {
+            Some((routes, _)) => Some(routes),
+            None if self.config.ksp_fallback > 0 => {
+                let k = self.config.ksp_fallback;
+                self.with_fresh_state(|state| {
+                    networking_stage_ksp_with(state, &links, k, cache).ok()
+                })?
+                .map(|(routes, _)| routes)
+            }
+            None => None,
+        };
+        let routes = routed?;
+        let placement: Vec<NodeId> = self
+            .slot_of
+            .iter()
+            .map(|s| self.hosts[s.expect("leaf placement is complete")])
+            .collect();
+        let mapping = Mapping::new(placement, routes);
+        let objective = mapping_objective(self.phys, self.venv, &mapping);
+        Some((mapping, objective))
+    }
+
+    /// Replays the current assignment into a fresh state and hands it to
+    /// `f`. Returns `None` if the replay itself fails (possible only
+    /// through float-rounding drift in storage residuals; treated as a
+    /// routing failure by the caller).
+    fn with_fresh_state<R>(&self, f: impl FnOnce(&mut PlacementState<'_>) -> R) -> Option<R> {
+        let mut state = PlacementState::new(self.phys, self.venv);
+        for (g, slot) in self.slot_of.iter().enumerate() {
+            let host = self.hosts[slot.expect("leaf placement is complete")];
+            state.assign(GuestId::from_index(g), host).ok()?;
+        }
+        Some(f(&mut state))
+    }
+
+    fn into_outcome(self) -> ExactOutcome {
+        let (phys, venv) = (self.phys, self.venv);
+        let lower_bound = self.best.min(self.lb_floor);
+        let status = if self.truncated {
+            ExactStatus::Truncated
+        } else if self.best_mapping.is_none() {
+            if self.stats.routing_failures == 0 {
+                ExactStatus::Infeasible
+            } else {
+                ExactStatus::Truncated
+            }
+        } else if self.lb_floor >= self.best - EPSILON {
+            ExactStatus::Optimal
+        } else {
+            ExactStatus::Truncated
+        };
+        let lower_bound = match status {
+            ExactStatus::Infeasible => f64::INFINITY,
+            _ => lower_bound,
+        };
+        ExactOutcome {
+            status,
+            best: self.best_mapping.map(|mapping| {
+                let objective = mapping_objective(phys, venv, &mapping);
+                ExactSolution { mapping, objective }
+            }),
+            lower_bound,
+            stats: self.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hmn::Hmn;
+    use crate::mapper::Mapper;
+    use emumap_graph::generators;
+    use emumap_model::objective::population_stddev;
+    use emumap_model::{
+        GuestSpec, HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, StorGb, VLinkSpec, VmmOverhead,
+    };
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn phys_line(n: usize, mips: &[f64]) -> PhysicalTopology {
+        PhysicalTopology::from_shape(
+            &generators::line(n),
+            mips.iter()
+                .map(|&m| HostSpec::new(Mips(m), MemMb(2048), StorGb(1000.0))),
+            LinkSpec::new(Kbps(10_000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        )
+    }
+
+    #[test]
+    fn water_filling_bound_is_exact_at_leaves() {
+        // demand 0: the bound is just the stddev of the residuals.
+        let r = [3.0, 1.0, 2.0];
+        let expected = population_stddev(&r);
+        assert!((residual_stddev_lower_bound(&r, 0.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn water_filling_bound_levels_when_demand_allows() {
+        // Residuals (10, 2), demand 8: water-filling leaves (2, 2) —
+        // perfectly balanced, bound 0.
+        assert!(residual_stddev_lower_bound(&[10.0, 2.0], 8.0) < 1e-12);
+        // Demand 4: level L with 2L = 8 → (4, 4)? No: only r0 can be
+        // lowered past r1=2... L=4 ≥ 2 keeps r1 at 2, so x=(6,2)? The
+        // solver clamps the largest first: k=1, L=(8-2)/1=6 → x=(6,2),
+        // stddev 2.
+        let lb = residual_stddev_lower_bound(&[10.0, 2.0], 4.0);
+        assert!((lb - 2.0).abs() < 1e-9, "lb={lb}");
+    }
+
+    #[test]
+    fn water_filling_bound_never_exceeds_any_completion() {
+        // Brute-force check on a tiny pool: every way of splitting two
+        // demands (30, 20) over residuals (100, 80, 60) must be ≥ lb.
+        let r = [100.0, 80.0, 60.0];
+        let demands = [30.0, 20.0];
+        let lb = residual_stddev_lower_bound(&r, demands.iter().sum());
+        let mut min_actual = f64::INFINITY;
+        for a in 0..3 {
+            for b in 0..3 {
+                let mut x = r;
+                x[a] -= demands[0];
+                x[b] -= demands[1];
+                min_actual = min_actual.min(population_stddev(&x));
+            }
+        }
+        assert!(lb <= min_actual + 1e-9, "lb={lb} > min={min_actual}");
+    }
+
+    fn chain_venv(specs: &[(f64, u64)], bw: f64, lat: f64) -> VirtualEnvironment {
+        let mut venv = VirtualEnvironment::new();
+        let ids: Vec<_> = specs
+            .iter()
+            .map(|&(proc, mem)| {
+                venv.add_guest(GuestSpec::new(Mips(proc), MemMb(mem), StorGb(10.0)))
+            })
+            .collect();
+        for pair in ids.windows(2) {
+            venv.add_link(pair[0], pair[1], VLinkSpec::new(Kbps(bw), Millis(lat)));
+        }
+        venv
+    }
+
+    #[test]
+    fn oracle_certifies_a_balanced_optimum() {
+        // Two identical hosts, two identical guests: optimum splits them,
+        // residuals equal, objective 0.
+        let phys = phys_line(2, &[1000.0, 1000.0]);
+        let venv = chain_venv(&[(100.0, 64), (100.0, 64)], 10.0, 60.0);
+        let out = solve_exact(&phys, &venv, &ExactConfig::default());
+        assert_eq!(out.status, ExactStatus::Optimal);
+        let best = out.best.expect("feasible");
+        assert!(best.objective < 1e-9, "objective={}", best.objective);
+        assert_eq!(validate_mapping(&phys, &venv, &best.mapping), Ok(()));
+        assert!((out.lower_bound - best.objective).abs() <= EPSILON);
+    }
+
+    #[test]
+    fn oracle_certifies_infeasible_when_memory_cannot_fit() {
+        let phys = phys_line(2, &[1000.0, 1000.0]);
+        // Three guests of 1500 MB against two 2048 MB hosts: no host takes
+        // two, and there are only two hosts.
+        let venv = chain_venv(&[(10.0, 1500), (10.0, 1500), (10.0, 1500)], 10.0, 60.0);
+        let out = solve_exact(&phys, &venv, &ExactConfig::default());
+        assert_eq!(out.status, ExactStatus::Infeasible);
+        assert!(out.best.is_none());
+        assert!(out.lower_bound.is_infinite());
+    }
+
+    #[test]
+    fn oracle_beats_or_matches_hmn_and_validates() {
+        // Heterogeneous hosts so balancing is non-trivial.
+        let phys = phys_line(3, &[3000.0, 2000.0, 1000.0]);
+        let venv = chain_venv(
+            &[
+                (400.0, 64),
+                (300.0, 64),
+                (200.0, 64),
+                (100.0, 64),
+                (500.0, 64),
+            ],
+            50.0,
+            80.0,
+        );
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hmn = Hmn::new().map(&phys, &venv, &mut rng).expect("HMN maps");
+        let out = solve_exact(&phys, &venv, &ExactConfig::default());
+        let best = out.best.clone().expect("oracle finds a mapping");
+        assert_eq!(validate_mapping(&phys, &venv, &best.mapping), Ok(()));
+        assert!(
+            best.objective <= hmn.objective + EPSILON,
+            "oracle {} worse than HMN {}",
+            best.objective,
+            hmn.objective
+        );
+        assert!(out.gap_from(hmn.objective).expect("has best") >= -EPSILON);
+    }
+
+    #[test]
+    fn witness_seeds_the_incumbent() {
+        let phys = phys_line(3, &[3000.0, 2000.0, 1000.0]);
+        let venv = chain_venv(&[(400.0, 64), (300.0, 64), (200.0, 64)], 50.0, 80.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let hmn = Hmn::new().map(&phys, &venv, &mut rng).expect("HMN maps");
+        let mut cache = MapCache::new();
+        let out = solve_exact_with(
+            &phys,
+            &venv,
+            &ExactConfig::default(),
+            &mut cache,
+            std::slice::from_ref(&hmn.mapping),
+        );
+        assert_eq!(out.stats.witnesses_accepted, 1);
+        let best = out.best.expect("at least the witness");
+        assert!(best.objective <= hmn.objective + EPSILON);
+    }
+
+    #[test]
+    fn node_budget_degrades_to_bounds() {
+        let phys = phys_line(4, &[2000.0, 2000.0, 2000.0, 2000.0]);
+        let venv = chain_venv(
+            &[
+                (100.0, 64),
+                (90.0, 64),
+                (80.0, 64),
+                (70.0, 64),
+                (60.0, 64),
+                (50.0, 64),
+            ],
+            10.0,
+            80.0,
+        );
+        let out = solve_exact(
+            &phys,
+            &venv,
+            &ExactConfig {
+                max_nodes: 3,
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.status, ExactStatus::Truncated);
+        assert!(out.lower_bound.is_finite());
+        // The truncated bound must still under-cut the true optimum.
+        let full = solve_exact(&phys, &venv, &ExactConfig::default());
+        if let Some(best) = full.best {
+            assert!(out.lower_bound <= best.objective + EPSILON);
+        }
+    }
+
+    #[test]
+    fn latency_pruning_does_not_change_the_answer() {
+        let phys = phys_line(4, &[2000.0, 1500.0, 1000.0, 500.0]);
+        // 12 ms bound rules out 3-hop placements (15 ms), so the prune has
+        // actual work to do here.
+        let venv = chain_venv(&[(300.0, 900), (200.0, 900), (100.0, 900)], 50.0, 12.0);
+        let with = solve_exact(&phys, &venv, &ExactConfig::default());
+        let without = solve_exact(
+            &phys,
+            &venv,
+            &ExactConfig {
+                use_latency_pruning: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(with.status, without.status);
+        match (&with.best, &without.best) {
+            (Some(a), Some(b)) => assert!((a.objective - b.objective).abs() <= EPSILON),
+            (None, None) => {}
+            _ => panic!("pruning changed feasibility"),
+        }
+    }
+
+    #[test]
+    fn oracle_emits_a_well_formed_trace_span() {
+        use emumap_trace::{EventSink, Tracer};
+        use std::sync::{Arc, Mutex};
+
+        struct Capture(Arc<Mutex<Vec<TraceEvent>>>);
+        impl EventSink for Capture {
+            fn record(&mut self, event: TraceEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+
+        let phys = phys_line(2, &[1000.0, 1000.0]);
+        let venv = chain_venv(&[(100.0, 64), (100.0, 64)], 10.0, 60.0);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut cache = MapCache::new();
+        cache.trace = Tracer::new(Box::new(Capture(Arc::clone(&events))));
+        let out = solve_exact_with(&phys, &venv, &ExactConfig::default(), &mut cache, &[]);
+        let events = events.lock().unwrap();
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::MapStart { mapper, .. }) if mapper == "EXACT"
+        ));
+        assert!(matches!(
+            events.last(),
+            Some(TraceEvent::MapEnd { ok: true, .. })
+        ));
+        let phase_end = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::PhaseEnd {
+                    phase: Phase::Exact,
+                    counters,
+                    ..
+                } => Some(*counters),
+                _ => None,
+            })
+            .expect("an Exact PhaseEnd is emitted");
+        assert_eq!(phase_end.exact_nodes_expanded, out.stats.nodes_expanded);
+        assert_eq!(phase_end.exact_nodes_pruned, out.stats.pruned_total());
+        assert!(out.stats.nodes_expanded > 0);
+    }
+
+    #[test]
+    fn empty_virtual_environment_is_trivially_optimal() {
+        let phys = phys_line(2, &[1000.0, 800.0]);
+        let venv = VirtualEnvironment::new();
+        let out = solve_exact(&phys, &venv, &ExactConfig::default());
+        assert_eq!(out.status, ExactStatus::Optimal);
+        let best = out.best.expect("empty mapping is feasible");
+        // Residuals untouched: objective = stddev of (1000, 800) = 100.
+        assert!((best.objective - 100.0).abs() < 1e-9);
+    }
+}

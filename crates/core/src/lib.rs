@@ -60,6 +60,7 @@ pub mod consolidation;
 pub mod dfs_routing;
 pub mod diagnostics;
 mod error;
+pub mod exact;
 mod greedy;
 mod hmn;
 pub mod hosting;
@@ -84,6 +85,10 @@ pub use diagnostics::{
     cluster_diagnostics, diagnose_route, residual_max_flow, ClusterDiagnostics, RouteVerdict,
 };
 pub use error::MapError;
+pub use exact::{
+    residual_stddev_lower_bound, solve_exact, solve_exact_with, ExactConfig, ExactOutcome,
+    ExactSolution, ExactStats, ExactStatus,
+};
 pub use greedy::{BestFit, FirstFitDecreasing, WorstFit};
 pub use hmn::{Hmn, HmnConfig, LinkOrder};
 pub use hosting::{

@@ -111,11 +111,14 @@ impl std::fmt::Display for Violation {
             Violation::PlacementSizeMismatch { expected, actual } => {
                 write!(
                     f,
-                    "placement covers {actual} guests, environment has {expected}"
+                    "Eq. 1 violated: placement covers {actual} guests, environment has {expected}"
                 )
             }
             Violation::MappedToNonHost { guest, node } => {
-                write!(f, "guest {guest} mapped to non-host node {node}")
+                write!(
+                    f,
+                    "Eq. 1 violated: guest {guest} mapped to non-host node {node}"
+                )
             }
             Violation::MemoryExceeded {
                 host,
@@ -124,7 +127,7 @@ impl std::fmt::Display for Violation {
             } => {
                 write!(
                     f,
-                    "host {host}: memory {demanded} MB demanded > {capacity} MB capacity"
+                    "Eq. 2 violated: host {host}: memory {demanded} MB demanded > {capacity} MB capacity"
                 )
             }
             Violation::StorageExceeded {
@@ -134,22 +137,25 @@ impl std::fmt::Display for Violation {
             } => {
                 write!(
                     f,
-                    "host {host}: storage {demanded} GB demanded > {capacity} GB capacity"
+                    "Eq. 3 violated: host {host}: storage {demanded} GB demanded > {capacity} GB capacity"
                 )
             }
             Violation::RouteTableSizeMismatch { expected, actual } => {
                 write!(
                     f,
-                    "route table covers {actual} links, environment has {expected}"
+                    "Eqs. 4-5 violated: route table covers {actual} links, environment has {expected}"
                 )
             }
             Violation::IntraHostMismatch { link } => {
-                write!(f, "link {link}: intra-host route shape mismatch")
+                write!(
+                    f,
+                    "Eqs. 4-5 violated: link {link}: intra-host route shape mismatch"
+                )
             }
             Violation::RouteDiscontinuous { link } => {
                 write!(
                     f,
-                    "link {link}: route edges do not chain from the source host"
+                    "Eqs. 4/6 violated: link {link}: route edges do not chain from the source host"
                 )
             }
             Violation::RouteWrongDestination {
@@ -159,12 +165,17 @@ impl std::fmt::Display for Violation {
             } => {
                 write!(
                     f,
-                    "link {link}: route ends at {ended_at}, expected {expected}"
+                    "Eq. 5 violated: link {link}: route ends at {ended_at}, expected {expected}"
                 )
             }
-            Violation::RouteHasLoop { link } => write!(f, "link {link}: route revisits a node"),
+            Violation::RouteHasLoop { link } => {
+                write!(f, "Eq. 7 violated: link {link}: route revisits a node")
+            }
             Violation::LatencyExceeded { link, total, bound } => {
-                write!(f, "link {link}: latency {total} ms > bound {bound} ms")
+                write!(
+                    f,
+                    "Eq. 8 violated: link {link}: latency {total} ms > bound {bound} ms"
+                )
             }
             Violation::BandwidthExceeded {
                 edge,
@@ -173,12 +184,14 @@ impl std::fmt::Display for Violation {
             } => {
                 write!(
                     f,
-                    "edge {edge}: bandwidth {demanded} kbps demanded > {capacity} kbps"
+                    "Eq. 9 violated: edge {edge}: bandwidth {demanded} kbps demanded > {capacity} kbps"
                 )
             }
         }
     }
 }
+
+impl std::error::Error for Violation {}
 
 /// Checks a mapping against Eqs. 1–9. Returns every violation found (an
 /// empty `Ok(())` means the mapping is valid).
@@ -596,5 +609,17 @@ mod tests {
         };
         let s = format!("{v}");
         assert!(s.contains("n3") && s.contains("2048") && s.contains("1024"));
+        assert!(s.contains("Eq. 2"), "names the violated equation: {s}");
+    }
+
+    #[test]
+    fn violation_is_a_std_error_naming_the_equation() {
+        let v = Violation::LatencyExceeded {
+            link: VLinkId::from_index(1),
+            total: 15.0,
+            bound: 10.0,
+        };
+        let err: &dyn std::error::Error = &v;
+        assert!(err.to_string().contains("Eq. 8"));
     }
 }

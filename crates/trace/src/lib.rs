@@ -40,6 +40,9 @@ pub enum Phase {
     Migration,
     /// Per-link route search.
     Networking,
+    /// Exact branch-and-bound search (the certification oracle, not a
+    /// pipeline stage — appears after Networking in trace order).
+    Exact,
 }
 
 /// Counters snapshotted into a [`TraceEvent::PhaseEnd`]. All fields
@@ -67,6 +70,11 @@ pub struct PhaseCounters {
     /// Networking: `ar[]` table hits served by the `MapCache`.
     /// Volatile: depends on cache warmth.
     pub cache_hits: u64,
+    /// Exact: branch-and-bound search nodes expanded. Deterministic —
+    /// the search order is a pure function of the instance.
+    pub exact_nodes_expanded: u64,
+    /// Exact: subtrees pruned (bound, capacity, or latency).
+    pub exact_nodes_pruned: u64,
 }
 
 impl PhaseCounters {

@@ -38,6 +38,6 @@ pub use cluster::{ClusterSpec, ClusterTopology};
 pub use feasibility::{ffd_packable, memory_utilization};
 pub use sampler::{sample, standard_normal, Distribution, Range};
 pub use scenarios::{
-    instantiate, instantiate_both, paper_scenarios, Instance, Scenario, WorkloadKind,
+    instantiate, instantiate_both, oracle_smoke, paper_scenarios, Instance, Scenario, WorkloadKind,
 };
 pub use venv_gen::VirtualEnvSpec;

@@ -180,6 +180,42 @@ pub fn instantiate_both(
     )
 }
 
+/// A deliberately tiny instance for exercising the exact branch-and-bound
+/// oracle: a 6-host ring of uniform hosts with an 8-guest high-churn
+/// virtual environment. Small enough that `emumap exact` certifies the
+/// optimum in well under a second, yet non-trivial (heterogeneous guest
+/// demands, inter-host links with real latency bounds).
+///
+/// Fully deterministic in `seed`, like every other generator here.
+pub fn oracle_smoke(seed: u64) -> (PhysicalTopology, VirtualEnvironment) {
+    use crate::sampler::{Distribution, Range};
+    use emumap_graph::generators;
+    use emumap_model::{HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, StorGb, VmmOverhead};
+
+    let phys = PhysicalTopology::from_shape(
+        &generators::ring(6),
+        std::iter::repeat(HostSpec::new(
+            Mips(2000.0),
+            MemMb::from_gb(2),
+            StorGb(2000.0),
+        )),
+        LinkSpec::new(Kbps(10_000.0), Millis(5.0)),
+        VmmOverhead::NONE,
+    );
+    let spec = crate::venv_gen::VirtualEnvSpec {
+        guests: 8,
+        density: 0.25,
+        mem_mb: Range::new(64.0, 256.0),
+        stor_gb: Range::new(10.0, 50.0),
+        cpu_mips: Range::new(20.0, 100.0),
+        bw_kbps: Range::new(50.0, 500.0),
+        lat_ms: Range::new(20.0, 80.0),
+        distribution: Distribution::Uniform,
+    };
+    let venv = spec.generate(&mut SmallRng::seed_from_u64(seed));
+    (phys, venv)
+}
+
 /// SplitMix64-style seed mixing.
 fn mix(base: u64, scenario: &Scenario, rep: u32) -> u64 {
     let mut z = base
@@ -273,5 +309,20 @@ mod tests {
             workload: WorkloadKind::HighLevel,
         };
         assert_eq!(s.label(), "7.5:1 0.02");
+    }
+
+    #[test]
+    fn oracle_smoke_is_tiny_and_deterministic() {
+        let (phys, venv) = oracle_smoke(42);
+        assert_eq!(phys.host_count(), 6);
+        assert_eq!(venv.guest_count(), 8);
+        let (phys2, venv2) = oracle_smoke(42);
+        assert_eq!(phys.host_count(), phys2.host_count());
+        assert_eq!(venv.link_count(), venv2.link_count());
+        for (a, b) in venv.guest_ids().zip(venv2.guest_ids()) {
+            assert_eq!(venv.guest(a), venv2.guest(b));
+        }
+        let (_, other) = oracle_smoke(43);
+        assert_eq!(other.guest_count(), 8, "size is seed-independent");
     }
 }

@@ -31,7 +31,7 @@ EVENT_TAGS = {
     "LinkFailed",
     "MapEnd",
 }
-PHASE_ORDER = ["Hosting", "Migration", "Networking"]
+PHASE_ORDER = ["Hosting", "Migration", "Networking", "Exact"]
 
 
 def check_file(path: pathlib.Path) -> list[str]:

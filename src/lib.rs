@@ -56,9 +56,11 @@ pub use emumap_workloads as workloads;
 /// virtual environment, map it, validate, simulate.
 pub mod prelude {
     pub use emumap_core::{
-        cluster_diagnostics, diagnose_route, AStarPruneConfig, Annealing, AnnealingConfig, BestFit,
-        ClusterDiagnostics, ConsolidatingHmn, FirstFitDecreasing, HeuristicPool, Hmn, HmnConfig,
-        HmnKsp, HostingDfs, HostingPolicy, LinkOrder, MapError, MapOutcome, MapStats, Mapper,
+        cluster_diagnostics, diagnose_route, residual_stddev_lower_bound, solve_exact,
+        solve_exact_with, AStarPruneConfig, Annealing, AnnealingConfig, BestFit,
+        ClusterDiagnostics, ConsolidatingHmn, ExactConfig, ExactOutcome, ExactSolution, ExactStats,
+        ExactStatus, FirstFitDecreasing, HeuristicPool, Hmn, HmnConfig, HmnKsp, HostingDfs,
+        HostingPolicy, LinkOrder, MapCache, MapError, MapOutcome, MapStats, Mapper,
         MigrationPolicy, PathMetric, PoolPolicy, RandomAStar, RandomDfs, RouteVerdict, WorstFit,
     };
     pub use emumap_graph::{generators, EdgeId, Graph, NodeId};

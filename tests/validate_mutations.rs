@@ -1,0 +1,312 @@
+//! Mutation tests for the validator: start from a mapping proven valid
+//! (`validate_mapping == Ok`), corrupt it along exactly one axis of the
+//! paper's constraint system, and assert the validator reports the
+//! matching [`Violation`] variant — naming the violated equation in its
+//! `Display` output. A validator that accepts any of these corruptions
+//! would also let a buggy mapper ship them, so each mutation here is one
+//! guaranteed-detectable defect class.
+
+use emumap::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Uniform ring of `n` hosts (each hop 5 ms, 1000 kbps).
+fn phys_ring(n: usize) -> PhysicalTopology {
+    PhysicalTopology::from_shape(
+        &emumap::graph::generators::ring(n),
+        std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+        LinkSpec::new(Kbps(1000.0), Millis(5.0)),
+        VmmOverhead::NONE,
+    )
+}
+
+/// Two guests joined by one virtual link.
+fn venv_pair(spec: GuestSpec, bw: f64, lat: f64) -> VirtualEnvironment {
+    let mut v = VirtualEnvironment::new();
+    let a = v.add_guest(spec);
+    let b = v.add_guest(spec);
+    v.add_link(a, b, VLinkSpec::new(Kbps(bw), Millis(lat)));
+    v
+}
+
+fn edge(p: &PhysicalTopology, a: usize, b: usize) -> EdgeId {
+    p.graph()
+        .find_edge(p.hosts()[a], p.hosts()[b])
+        .expect("edge exists in the ring")
+}
+
+/// Asserts that validating `mutant` yields a violation matched by
+/// `matches`, and that its Display names `equation`; returns the message.
+fn assert_violation(
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+    mutant: &Mapping,
+    equation: &str,
+    matches: impl Fn(&Violation) -> bool,
+) -> String {
+    let errs =
+        validate_mapping(phys, venv, mutant).expect_err("the corrupted mapping must not validate");
+    let hit = errs
+        .iter()
+        .find(|v| matches(v))
+        .unwrap_or_else(|| panic!("expected violation for {equation}, got {errs:?}"));
+    // Satellite of the same PR: Violation is a std::error::Error whose
+    // message names the violated equation.
+    let err: &dyn std::error::Error = hit;
+    let msg = err.to_string();
+    assert!(msg.contains(equation), "{msg:?} should name {equation}");
+    msg
+}
+
+/// The route-axis fixture: guests two hops apart on a 5-ring with a
+/// latency bound that admits the short way (2 hops, 10 ms) but not the
+/// long way (3 hops, 15 ms).
+fn route_fixture() -> (PhysicalTopology, VirtualEnvironment, Mapping) {
+    let p = phys_ring(5);
+    let v = venv_pair(
+        GuestSpec::new(Mips(10.0), MemMb(128), StorGb(10.0)),
+        200.0,
+        12.0,
+    );
+    // a on h0, b on h2; route the short way h0 -> h1 -> h2 (10 ms <= 12).
+    let m = Mapping::new(
+        vec![p.hosts()[0], p.hosts()[2]],
+        vec![Route::new(vec![edge(&p, 0, 1), edge(&p, 1, 2)])],
+    );
+    assert_eq!(
+        validate_mapping(&p, &v, &m),
+        Ok(()),
+        "fixture must be valid"
+    );
+    (p, v, m)
+}
+
+#[test]
+fn eq1_truncated_placement_is_detected() {
+    let (p, v, m) = route_fixture();
+    let mut placement = m.placement().to_vec();
+    placement.pop();
+    let mutant = Mapping::new(placement, m.routes().to_vec());
+    assert_violation(&p, &v, &mutant, "Eq. 1", |e| {
+        matches!(
+            e,
+            Violation::PlacementSizeMismatch {
+                expected: 2,
+                actual: 1
+            }
+        )
+    });
+}
+
+#[test]
+fn eq1_guest_on_nonexistent_node_is_detected() {
+    let (p, v, m) = route_fixture();
+    let mut placement = m.placement().to_vec();
+    placement[1] = NodeId::from_index(999);
+    let mutant = Mapping::new(placement, m.routes().to_vec());
+    assert_violation(&p, &v, &mutant, "Eq. 1", |e| {
+        matches!(e, Violation::MappedToNonHost { guest: 1, .. })
+    });
+}
+
+#[test]
+fn eq2_cohosting_past_memory_capacity_is_detected() {
+    // 600 MB guests on 1024 MB hosts: valid only when separated. HMN's
+    // own mapping is the known-good baseline here — memory forces it to
+    // split the pair.
+    let p = phys_ring(4);
+    let v = venv_pair(
+        GuestSpec::new(Mips(10.0), MemMb(600), StorGb(10.0)),
+        200.0,
+        20.0,
+    );
+    let mut rng = SmallRng::seed_from_u64(1);
+    let good = Hmn::new()
+        .map(&p, &v, &mut rng)
+        .expect("HMN maps the pair")
+        .mapping;
+    assert_eq!(validate_mapping(&p, &v, &good), Ok(()));
+    assert_ne!(
+        good.host_of(GuestId::from_index(0)),
+        good.host_of(GuestId::from_index(1))
+    );
+
+    let host = good.host_of(GuestId::from_index(0));
+    let mutant = Mapping::new(vec![host, host], good.routes().to_vec());
+    assert_violation(&p, &v, &mutant, "Eq. 2", |e| {
+        matches!(
+            e,
+            Violation::MemoryExceeded {
+                demanded: 1200,
+                capacity: 1024,
+                ..
+            }
+        )
+    });
+}
+
+#[test]
+fn eq3_cohosting_past_storage_capacity_is_detected() {
+    // 80 GB guests on 100 GB hosts: memory is roomy, storage forces the
+    // split.
+    let p = phys_ring(4);
+    let v = venv_pair(
+        GuestSpec::new(Mips(10.0), MemMb(64), StorGb(80.0)),
+        200.0,
+        20.0,
+    );
+    let mut rng = SmallRng::seed_from_u64(1);
+    let good = Hmn::new()
+        .map(&p, &v, &mut rng)
+        .expect("HMN maps the pair")
+        .mapping;
+    assert_eq!(validate_mapping(&p, &v, &good), Ok(()));
+
+    let host = good.host_of(GuestId::from_index(0));
+    let mutant = Mapping::new(vec![host, host], good.routes().to_vec());
+    assert_violation(&p, &v, &mutant, "Eq. 3", |e| {
+        matches!(e, Violation::StorageExceeded { .. })
+    });
+}
+
+#[test]
+fn eq4_5_missing_route_is_detected() {
+    let (p, v, m) = route_fixture();
+    let mutant = Mapping::new(m.placement().to_vec(), vec![]);
+    assert_violation(&p, &v, &mutant, "Eqs. 4-5", |e| {
+        matches!(
+            e,
+            Violation::RouteTableSizeMismatch {
+                expected: 1,
+                actual: 0
+            }
+        )
+    });
+}
+
+#[test]
+fn eq4_5_inter_host_link_with_empty_route_is_detected() {
+    let (p, v, m) = route_fixture();
+    let mutant = Mapping::new(m.placement().to_vec(), vec![Route::intra_host()]);
+    assert_violation(&p, &v, &mutant, "Eqs. 4-5", |e| {
+        matches!(e, Violation::IntraHostMismatch { .. })
+    });
+}
+
+#[test]
+fn eq4_6_route_not_chaining_from_source_is_detected() {
+    let (p, v, _) = route_fixture();
+    // h1 -> h2 only: never touches the source host h0.
+    let mutant = Mapping::new(
+        vec![p.hosts()[0], p.hosts()[2]],
+        vec![Route::new(vec![edge(&p, 1, 2)])],
+    );
+    assert_violation(&p, &v, &mutant, "Eqs. 4/6", |e| {
+        matches!(e, Violation::RouteDiscontinuous { .. })
+    });
+}
+
+#[test]
+fn eq5_route_stopping_short_is_detected() {
+    let (p, v, _) = route_fixture();
+    // h0 -> h1 stops one hop before the destination h2.
+    let mutant = Mapping::new(
+        vec![p.hosts()[0], p.hosts()[2]],
+        vec![Route::new(vec![edge(&p, 0, 1)])],
+    );
+    assert_violation(&p, &v, &mutant, "Eq. 5", |e| {
+        matches!(e, Violation::RouteWrongDestination { .. })
+    });
+}
+
+#[test]
+fn eq7_route_revisiting_a_node_is_detected() {
+    let (p, v, _) = route_fixture();
+    // h0 -> h1 -> h0 -> h4 -> h3 -> h2: reaches the right destination but
+    // revisits h0 on the way; the loop check must fire.
+    let mutant = Mapping::new(
+        vec![p.hosts()[0], p.hosts()[2]],
+        vec![Route::new(vec![
+            edge(&p, 0, 1),
+            edge(&p, 1, 0),
+            edge(&p, 0, 4),
+            edge(&p, 4, 3),
+            edge(&p, 3, 2),
+        ])],
+    );
+    assert_violation(&p, &v, &mutant, "Eq. 7", |e| {
+        matches!(e, Violation::RouteHasLoop { .. })
+    });
+}
+
+#[test]
+fn eq8_rerouting_past_the_latency_bound_is_detected() {
+    let (p, v, _) = route_fixture();
+    // The long way round (h0 -> h4 -> h3 -> h2, 15 ms) busts the 12 ms
+    // bound; destination, continuity and loop-freedom all stay intact, so
+    // Eq. 8 is the only possible report.
+    let mutant = Mapping::new(
+        vec![p.hosts()[0], p.hosts()[2]],
+        vec![Route::new(vec![
+            edge(&p, 0, 4),
+            edge(&p, 4, 3),
+            edge(&p, 3, 2),
+        ])],
+    );
+    let msg = assert_violation(&p, &v, &mutant, "Eq. 8", |e| {
+        matches!(
+            e,
+            Violation::LatencyExceeded { total, bound, .. }
+                if (*total - 15.0).abs() < 1e-9 && *bound == 12.0
+        )
+    });
+    assert!(msg.contains("12"), "reports the bound: {msg}");
+}
+
+#[test]
+fn eq9_stacking_links_past_bandwidth_capacity_is_detected() {
+    // Two 600 kbps virtual links over 1000 kbps edges: valid only on
+    // edge-disjoint routes.
+    let p = phys_ring(4);
+    let mut v = VirtualEnvironment::new();
+    let spec = GuestSpec::new(Mips(10.0), MemMb(64), StorGb(10.0));
+    let a = v.add_guest(spec);
+    let b = v.add_guest(spec);
+    v.add_link(a, b, VLinkSpec::new(Kbps(600.0), Millis(100.0)));
+    v.add_link(a, b, VLinkSpec::new(Kbps(600.0), Millis(100.0)));
+    let short = Route::new(vec![edge(&p, 0, 1), edge(&p, 1, 2)]);
+    let long = Route::new(vec![edge(&p, 0, 3), edge(&p, 3, 2)]);
+    let good = Mapping::new(vec![p.hosts()[0], p.hosts()[2]], vec![short.clone(), long]);
+    assert_eq!(
+        validate_mapping(&p, &v, &good),
+        Ok(()),
+        "disjoint routes are valid"
+    );
+
+    // Corrupt: pile both links onto the same edges (1200 > 1000 kbps).
+    let mutant = Mapping::new(good.placement().to_vec(), vec![short.clone(), short]);
+    assert_violation(&p, &v, &mutant, "Eq. 9", |e| {
+        matches!(
+            e,
+            Violation::BandwidthExceeded { demanded, capacity, .. }
+                if *demanded == 1200.0 && *capacity == 1000.0
+        )
+    });
+}
+
+#[test]
+fn every_equation_axis_is_covered_by_a_mutation() {
+    // Meta-check: the suite above must keep one mutation per Display
+    // prefix the validator can emit, so a new Violation variant without a
+    // mutation test fails here (update both when extending Eqs.).
+    let prefixes = [
+        "Eq. 1", "Eq. 2", "Eq. 3", "Eqs. 4-5", "Eqs. 4/6", "Eq. 5", "Eq. 7", "Eq. 8", "Eq. 9",
+    ];
+    let source = include_str!("validate_mutations.rs");
+    for p in prefixes {
+        assert!(
+            source.contains(&format!("\"{p}\"")),
+            "no mutation test names {p}"
+        );
+    }
+}

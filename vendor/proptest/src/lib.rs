@@ -263,9 +263,12 @@ pub fn run_proptest(
     while passed < cases {
         let seed = base ^ iteration.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut rng = SmallRng::seed_from_u64(seed);
-        match case(&mut rng) {
-            Ok(()) => passed += 1,
-            Err(test_runner::TestCaseError::Reject(_)) => {
+        // Catch plain `assert!` panics too, so every failure mode reports
+        // the seed that reproduces it.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(test_runner::TestCaseError::Reject(_))) => {
                 rejected += 1;
                 if rejected > max_rejects {
                     panic!(
@@ -274,8 +277,24 @@ pub fn run_proptest(
                     );
                 }
             }
-            Err(test_runner::TestCaseError::Fail(msg)) => {
-                panic!("proptest {name} failed at iteration {iteration} (seed {seed:#x}): {msg}");
+            Ok(Err(test_runner::TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest {name} failed at iteration {iteration} (seed {seed:#x}): {msg}\n\
+                     to pin this case as a regression, add `cc {name} {seed:#x}` to \
+                     proptest-regressions/<suite>.txt"
+                );
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                panic!(
+                    "proptest {name} panicked at iteration {iteration} (seed {seed:#x}): {msg}\n\
+                     to pin this case as a regression, add `cc {name} {seed:#x}` to \
+                     proptest-regressions/<suite>.txt"
+                );
             }
         }
         iteration += 1;
