@@ -1,0 +1,245 @@
+//! Micro-benchmark for the delta-evaluation engine: the annealer's
+//! proposal loop evaluated the old way (migrate, full O(hosts) Eq. 10
+//! recompute + O(links) inter-host bandwidth rescan, revert on reject)
+//! vs. the incremental way (`objective_if_migrated` +
+//! `inter_bandwidth_delta`, O(1)/O(degree) per proposal, mutation only on
+//! accept). Same instance, same seeded proposal stream, same greedy
+//! accept rule — only the evaluation strategy differs.
+//!
+//! Writes `results/BENCH_annealing.json` with per-variant
+//! proposals-per-second and the measured speedup; CI's bench-smoke job
+//! asserts the file is well-formed and the speedup is at least 10x.
+//!
+//! Quick mode (`EMUMAP_BENCH_QUICK=1`) shrinks the proposal stream and
+//! measurement time so the gate stays fast.
+
+use criterion::{BenchmarkId, Criterion};
+use emumap_core::PlacementState;
+use emumap_graph::{generators, NodeId};
+use emumap_model::objective::population_stddev;
+use emumap_model::{
+    GuestId, HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, PhysicalTopology, StorGb,
+    VirtualEnvironment, VmmOverhead,
+};
+use emumap_workloads::{Distribution, Range, VirtualEnvSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// Benchmark scale: 64 hosts, 256 guests (~4 guests/host).
+const HOSTS_SIDE: usize = 8;
+const GUESTS: usize = 256;
+
+fn build_instance() -> (PhysicalTopology, VirtualEnvironment) {
+    let phys = PhysicalTopology::from_shape(
+        &generators::torus2d(HOSTS_SIDE, HOSTS_SIDE),
+        std::iter::repeat(HostSpec::new(
+            Mips(8000.0),
+            MemMb::from_gb(8),
+            StorGb(4000.0),
+        )),
+        LinkSpec::new(Kbps::from_gbps(1.0), Millis(5.0)),
+        VmmOverhead::NONE,
+    );
+    let spec = VirtualEnvSpec {
+        guests: GUESTS,
+        density: 0.01,
+        mem_mb: Range::new(64.0, 256.0),
+        stor_gb: Range::new(10.0, 50.0),
+        cpu_mips: Range::new(20.0, 100.0),
+        bw_kbps: Range::new(50.0, 500.0),
+        lat_ms: Range::new(20.0, 80.0),
+        distribution: Distribution::Uniform,
+    };
+    let venv = spec.generate(&mut SmallRng::seed_from_u64(2009));
+    (phys, venv)
+}
+
+/// A fixed initial placement (first fitting host, round-robin start) so
+/// every benchmark iteration anneals from the same state.
+fn initial_placement(phys: &PhysicalTopology, venv: &VirtualEnvironment) -> Vec<(GuestId, NodeId)> {
+    let mut state = PlacementState::new(phys, venv);
+    let hosts = phys.hosts();
+    let mut plan = Vec::with_capacity(venv.guest_count());
+    for (i, g) in venv.guest_ids().enumerate() {
+        let pick = (0..hosts.len())
+            .map(|k| hosts[(i + k) % hosts.len()])
+            .find(|&h| state.fits(g, h))
+            .expect("benchmark instance must be placeable");
+        state.assign(g, pick).expect("fit checked");
+        plan.push((g, pick));
+    }
+    plan
+}
+
+/// Bandwidth normalization shared by both variants (the annealer's rule).
+fn bw_scale_of(phys: &PhysicalTopology, venv: &VirtualEnvironment) -> f64 {
+    let total_bw: f64 = venv.link_ids().map(|l| venv.link(l).bw.value()).sum();
+    total_bw / phys.host_count() as f64
+}
+
+const BW_WEIGHT: f64 = 0.5;
+
+/// One annealing pass with full recomputation per proposal — the old
+/// evaluation strategy, reconstructed over the public API: mutate first,
+/// recompute Eq. 10 over the whole residual vector (allocating) plus a
+/// full inter-host bandwidth rescan, migrate back on reject.
+fn run_full_recompute(
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+    plan: &[(GuestId, NodeId)],
+    proposals: usize,
+) -> f64 {
+    let mut state = PlacementState::new(phys, venv);
+    for &(g, h) in plan {
+        state.assign(g, h).expect("plan is feasible");
+    }
+    let hosts = phys.hosts();
+    let bw_scale = bw_scale_of(phys, venv);
+    let energy = |state: &PlacementState<'_>| {
+        let obj = population_stddev(&state.residual().host_proc_residuals(phys));
+        obj + BW_WEIGHT * state.inter_host_bandwidth().value() / bw_scale
+    };
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut current = energy(&state);
+    for _ in 0..proposals {
+        let g = GuestId::from_index(rng.gen_range(0..venv.guest_count()));
+        let to = hosts[rng.gen_range(0..hosts.len())];
+        let from = state.host_of(g).expect("complete");
+        if to == from || !state.fits(g, to) {
+            continue;
+        }
+        state.migrate(g, to).expect("fit checked");
+        let proposed = energy(&state);
+        if proposed <= current {
+            current = proposed;
+        } else {
+            state.migrate(g, from).expect("own slot still fits");
+        }
+    }
+    current
+}
+
+/// The same annealing pass through the delta-evaluation engine: O(1)
+/// objective probe + O(degree) bandwidth delta, no mutation on reject.
+fn run_delta(
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+    plan: &[(GuestId, NodeId)],
+    proposals: usize,
+) -> f64 {
+    let mut state = PlacementState::new(phys, venv);
+    for &(g, h) in plan {
+        state.assign(g, h).expect("plan is feasible");
+    }
+    let hosts = phys.hosts();
+    let bw_scale = bw_scale_of(phys, venv);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut bw_inter = state.inter_host_bandwidth().value();
+    let mut current = state.objective() + BW_WEIGHT * bw_inter / bw_scale;
+    for _ in 0..proposals {
+        let g = GuestId::from_index(rng.gen_range(0..venv.guest_count()));
+        let to = hosts[rng.gen_range(0..hosts.len())];
+        let from = state.host_of(g).expect("complete");
+        if to == from || !state.fits(g, to) {
+            continue;
+        }
+        let bw_after = bw_inter + state.inter_bandwidth_delta(g, to).value();
+        let proposed = state.objective_if_migrated(g, to) + BW_WEIGHT * bw_after / bw_scale;
+        if proposed <= current {
+            state.migrate(g, to).expect("fit checked");
+            current = proposed;
+            bw_inter = bw_after;
+        }
+    }
+    current
+}
+
+/// One summary row of `BENCH_annealing.json`.
+#[derive(Serialize)]
+struct AnnealEntry {
+    name: String,
+    mean_s: f64,
+    min_s: f64,
+    samples: usize,
+    proposals: usize,
+    proposals_per_s: f64,
+}
+
+/// The report CI parses: both variants plus the measured speedup.
+#[derive(Serialize)]
+struct AnnealReport {
+    hosts: usize,
+    guests: usize,
+    entries: Vec<AnnealEntry>,
+    speedup_proposals_per_s: f64,
+}
+
+fn main() {
+    let quick = std::env::var("EMUMAP_BENCH_QUICK").is_ok();
+    let proposals: usize = if quick { 2_000 } else { 20_000 };
+
+    let (phys, venv) = build_instance();
+    let plan = initial_placement(&phys, &venv);
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("annealing_energy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(if quick {
+        200
+    } else {
+        500
+    }));
+    group.measurement_time(std::time::Duration::from_secs(if quick { 1 } else { 3 }));
+
+    group.bench_with_input(
+        BenchmarkId::from_parameter("full_recompute"),
+        &proposals,
+        |b, &n| b.iter(|| run_full_recompute(&phys, &venv, &plan, n)),
+    );
+    group.bench_with_input(BenchmarkId::from_parameter("delta"), &proposals, |b, &n| {
+        b.iter(|| run_delta(&phys, &venv, &plan, n))
+    });
+    group.finish();
+
+    let mut entries = Vec::new();
+    for (name, summary) in criterion.results() {
+        entries.push(AnnealEntry {
+            name: name.clone(),
+            mean_s: summary.mean_s(),
+            min_s: summary.min_s(),
+            samples: summary.samples.len(),
+            proposals,
+            proposals_per_s: proposals as f64 / summary.mean_s(),
+        });
+    }
+    let rate = |suffix: &str| {
+        entries
+            .iter()
+            .find(|e| e.name.ends_with(suffix))
+            .map(|e| e.proposals_per_s)
+            .expect("both variants ran")
+    };
+    let report = AnnealReport {
+        hosts: HOSTS_SIDE * HOSTS_SIDE,
+        guests: GUESTS,
+        speedup_proposals_per_s: rate("delta") / rate("full_recompute"),
+        entries,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_annealing.json", json)
+        .expect("write results/BENCH_annealing.json");
+    eprintln!("[annealing_energy] summaries -> results/BENCH_annealing.json");
+    for e in &report.entries {
+        eprintln!(
+            "[annealing_energy] {}: mean {:.6}s ({} proposals, {:.0} proposals/s)",
+            e.name, e.mean_s, e.proposals, e.proposals_per_s
+        );
+    }
+    eprintln!(
+        "[annealing_energy] delta-evaluation speedup: {:.1}x proposals/s",
+        report.speedup_proposals_per_s
+    );
+}

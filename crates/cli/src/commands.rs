@@ -4,9 +4,9 @@ use crate::args::Parsed;
 use emumap_bench::crosscheck::{CrossCheck, TrialWitness};
 use emumap_bench::parallel::ParallelRunner;
 use emumap_core::{
-    cluster_diagnostics, solve_exact_with, BestFit, ConsolidatingHmn, ExactConfig, ExactStatus,
-    FirstFitDecreasing, HeuristicPool, Hmn, HostingDfs, MapCache, MapOutcome, Mapper, PoolPolicy,
-    RandomAStar, RandomDfs, WorstFit,
+    cluster_diagnostics, solve_exact_with, Annealing, BestFit, ConsolidatingHmn, ExactConfig,
+    ExactStatus, FirstFitDecreasing, HeuristicPool, Hmn, HostingDfs, MapCache, MapOutcome, Mapper,
+    PoolPolicy, RandomAStar, RandomDfs, WorstFit,
 };
 use emumap_model::{validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment};
 use emumap_sim::{run_experiment, ExperimentSpec};
@@ -55,7 +55,7 @@ subcommands:
   gen-venv --workload high|low --guests N --density D [--seed S] -o venv.json
       generate a Table 1 virtual environment
   map --phys phys.json --venv venv.json
-      [--mapper hmn|r|ra|hs|ffd|bf|wf|consolidate|pool]
+      [--mapper hmn|r|ra|hs|ffd|bf|wf|consolidate|sa|pool]
       [--seed S] [--attempts A] [-o mapping.json] [--trace events.jsonl]
       map the environment; prints objective and stats; on failure prints
       capacity diagnostics (memory/CPU/latency/bandwidth headroom);
@@ -127,6 +127,7 @@ fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError
         "bf" => Box::new(BestFit::default()),
         "wf" => Box::new(WorstFit::default()),
         "consolidate" => Box::new(ConsolidatingHmn::default()),
+        "sa" => Box::new(Annealing::default()),
         "pool" => Box::new(HeuristicPool::new(
             vec![
                 Box::new(Hmn::new()),
@@ -142,7 +143,7 @@ fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError
         )),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown mapper '{other}' (hmn|r|ra|hs|ffd|bf|wf|consolidate|pool)"
+                "unknown mapper '{other}' (hmn|r|ra|hs|ffd|bf|wf|consolidate|sa|pool)"
             )))
         }
     })
@@ -299,6 +300,12 @@ fn map_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         format!(
             "tables          : {} Dijkstra runs ({} hop tables), {} warm-cache hits",
             outcome.stats.dijkstra_runs, outcome.stats.hop_tables, outcome.stats.ar_cache_hits
+        ),
+        format!(
+            "placement       : {} proposals evaluated ({} delta, {} full evals)",
+            outcome.stats.proposals_evaluated,
+            outcome.stats.delta_evaluations,
+            outcome.stats.full_evaluations
         ),
     ];
     if let Some(out) = p.optional("out") {
@@ -855,7 +862,7 @@ mod tests {
 
     #[test]
     fn every_mapper_name_builds() {
-        for name in ["hmn", "r", "ra", "hs", "consolidate", "pool"] {
+        for name in ["hmn", "r", "ra", "hs", "consolidate", "sa", "pool"] {
             assert!(build_mapper(name, 10).is_ok(), "{name}");
         }
         assert!(matches!(build_mapper("nope", 10), Err(CliError::Usage(_))));

@@ -69,28 +69,6 @@ pub struct Annealing {
     pub config: AnnealingConfig,
 }
 
-/// Total bandwidth of virtual links whose endpoints sit on different hosts
-/// (the communication cost Hosting tries to minimize).
-fn inter_host_bandwidth(state: &PlacementState<'_>) -> f64 {
-    let venv = state.venv();
-    venv.link_ids()
-        .filter_map(|l| {
-            let (a, b) = venv.link_endpoints(l);
-            (state.host_of(a) != state.host_of(b)).then(|| venv.link(l).bw.value())
-        })
-        .sum()
-}
-
-fn energy(state: &PlacementState<'_>, bw_weight: f64, bw_scale: f64) -> f64 {
-    let balance = state.objective();
-    if bw_weight == 0.0 || bw_scale == 0.0 {
-        return balance;
-    }
-    // Normalize the bandwidth term to the objective's scale so neither
-    // dominates by unit choice.
-    balance + bw_weight * inter_host_bandwidth(state) / bw_scale
-}
-
 impl Mapper for Annealing {
     fn name(&self) -> &str {
         "SA"
@@ -122,6 +100,15 @@ impl Mapper for Annealing {
             links: venv.link_count() as u64,
         });
 
+        // Borrow the reusable search buffers out of the cache for the run;
+        // they go back before the Networking stage needs the whole cache.
+        let anneal_reuses_before = cache.anneal.reuses();
+        cache.anneal.begin();
+        let mut hosts = std::mem::take(&mut cache.anneal.hosts);
+        let mut best_placement = std::mem::take(&mut cache.anneal.best);
+        let mut displaced = std::mem::take(&mut cache.anneal.displaced);
+        hosts.extend_from_slice(phys.hosts());
+
         // --- Initial placement.
         let t_place = Instant::now();
         cache.trace.emit(|| TraceEvent::PhaseStart {
@@ -144,13 +131,10 @@ impl Mapper for Annealing {
             hosting_counters.first_fit_fallbacks = h.first_fit_fallbacks as u64;
             migration_stage(&mut state);
         } else {
-            let hosts: Vec<NodeId> = phys.hosts().to_vec();
+            let mut fitting: Vec<NodeId> = Vec::with_capacity(hosts.len());
             for g in venv.guest_ids() {
-                let fitting: Vec<NodeId> = hosts
-                    .iter()
-                    .copied()
-                    .filter(|&h| state.fits(g, h))
-                    .collect();
+                fitting.clear();
+                fitting.extend(hosts.iter().copied().filter(|&h| state.fits(g, h)));
                 if fitting.is_empty() {
                     cache.trace.emit(|| TraceEvent::MapEnd {
                         ok: false,
@@ -171,7 +155,6 @@ impl Mapper for Annealing {
 
         // --- Anneal.
         let guest_count = venv.guest_count();
-        let hosts: Vec<NodeId> = phys.hosts().to_vec();
         let bw_scale = {
             // Natural scale: average per-host CPU capacity per unit of the
             // total virtual bandwidth, folded so both terms are O(objective).
@@ -182,15 +165,35 @@ impl Mapper for Annealing {
                 0.0
             }
         };
-        let mut current = energy(&state, cfg.bandwidth_weight, bw_scale);
+        let bw_enabled = cfg.bandwidth_weight != 0.0 && bw_scale != 0.0;
+        let energy_of = |objective: f64, bw_inter: f64| {
+            if bw_enabled {
+                // Normalize the bandwidth term to the objective's scale so
+                // neither dominates by unit choice.
+                objective + cfg.bandwidth_weight * bw_inter / bw_scale
+            } else {
+                objective
+            }
+        };
+        // The inter-host bandwidth is scanned once here and then maintained
+        // as a running value: each proposal contributes an O(degree) delta.
+        let mut bw_inter = if bw_enabled {
+            state.inter_host_bandwidth().value()
+        } else {
+            0.0
+        };
+        let mut current = energy_of(state.objective(), bw_inter);
         let mut best_energy = current;
-        let mut best_placement: Vec<NodeId> = venv
-            .guest_ids()
-            .map(|g| state.host_of(g).expect("complete"))
-            .collect();
+        best_placement.extend(
+            venv.guest_ids()
+                .map(|g| state.host_of(g).expect("complete")),
+        );
         let mut temperature = (current * cfg.initial_temperature_factor).max(1e-6);
         let mut accepted = 0usize;
         let mut rejected = 0usize;
+        let mut proposals = 0usize;
+        let delta_evals_before = state.delta_evaluations();
+        let full_evals_before = state.full_evaluations();
 
         let t_anneal = Instant::now();
         cache.trace.emit(|| TraceEvent::PhaseStart {
@@ -206,13 +209,24 @@ impl Mapper for Annealing {
                     temperature *= cfg.cooling;
                     continue;
                 }
-                state.migrate(g, to).expect("fit checked");
-                let proposed = energy(&state, cfg.bandwidth_weight, bw_scale);
+                // Delta evaluation: O(1) objective + O(degree) bandwidth,
+                // with no state mutation. Accept commits the tracked
+                // values; reject costs nothing.
+                let objective_after = state.objective_if_migrated(g, to);
+                let bw_after = if bw_enabled {
+                    bw_inter + state.inter_bandwidth_delta(g, to).value()
+                } else {
+                    bw_inter
+                };
+                let proposed = energy_of(objective_after, bw_after);
+                proposals += 1;
                 let delta = proposed - current;
                 let accept =
                     delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature.max(1e-12)).exp();
                 if accept {
+                    state.migrate(g, to).expect("fit checked");
                     current = proposed;
+                    bw_inter = bw_after;
                     accepted += 1;
                     if proposed < best_energy {
                         best_energy = proposed;
@@ -222,7 +236,6 @@ impl Mapper for Annealing {
                     }
                 } else {
                     rejected += 1;
-                    state.migrate(g, from).expect("own slot still fits");
                 }
                 temperature *= cfg.cooling;
             }
@@ -232,10 +245,11 @@ impl Mapper for Annealing {
         // transiently violate capacity (a swap needs both slots free at
         // once), so unassign every displaced guest first, then reassign —
         // the target state as a whole was feasible when recorded.
-        let displaced: Vec<GuestId> = (0..guest_count)
-            .map(GuestId::from_index)
-            .filter(|&g| state.host_of(g) != Some(best_placement[g.index()]))
-            .collect();
+        displaced.extend(
+            (0..guest_count)
+                .map(GuestId::from_index)
+                .filter(|&g| state.host_of(g) != Some(best_placement[g.index()])),
+        );
         for &g in &displaced {
             state.unassign(g);
         }
@@ -244,19 +258,30 @@ impl Mapper for Annealing {
                 .assign(g, best_placement[g.index()])
                 .expect("best placement was feasible when recorded");
         }
+        let delta_evaluations = state.delta_evaluations() - delta_evals_before;
+        let full_evaluations = state.full_evaluations() - full_evals_before;
         cache.trace.emit(|| TraceEvent::PhaseEnd {
             phase: Phase::Migration,
             elapsed_us: crate::hmn::elapsed_us(t_anneal),
             counters: PhaseCounters {
                 moves_accepted: accepted as u64,
                 moves_rejected: rejected as u64,
+                proposals_evaluated: proposals as u64,
+                delta_evaluations,
+                full_evaluations,
                 ..Default::default()
             },
         });
         let placement_time = t_place.elapsed();
 
+        // Return the (possibly grown) buffers to the cache for the next run.
+        cache.anneal.hosts = hosts;
+        cache.anneal.best = best_placement;
+        cache.anneal.displaced = displaced;
+
         // --- Route.
         let t_route = Instant::now();
+        let route_reuses_before = cache.scratch.reuses();
         cache.trace.emit(|| TraceEvent::PhaseStart {
             phase: Phase::Networking,
         });
@@ -291,6 +316,11 @@ impl Mapper for Annealing {
             astar_expansions: net.search.expanded,
             dijkstra_runs: net.dijkstra_runs,
             ar_cache_hits: net.ar_cache_hits,
+            scratch_reuses: (cache.scratch.reuses() - route_reuses_before)
+                + (cache.anneal.reuses() - anneal_reuses_before),
+            proposals_evaluated: proposals,
+            delta_evaluations: delta_evaluations as usize,
+            full_evaluations: full_evaluations as usize,
             placement_time,
             networking_time: t_route.elapsed(),
             total_time: start.elapsed(),

@@ -23,7 +23,7 @@ use crate::astar_prune::RouteScratch;
 use crate::dfs_routing::DfsScratch;
 use emumap_graph::algo::dijkstra_csr;
 use emumap_graph::{CsrAdjacency, NodeId};
-use emumap_model::PhysicalTopology;
+use emumap_model::{GuestId, PhysicalTopology};
 use emumap_trace::Tracer;
 use std::collections::HashMap;
 
@@ -147,6 +147,48 @@ impl ArTables {
     }
 }
 
+/// Reusable buffers for the annealer's search loop: the host list the
+/// proposal sampler indexes, the best-placement snapshot, and the
+/// displaced-guest list of the final restore. With these owned by the
+/// [`MapCache`], the steady-state annealing loop performs no allocations
+/// at all — proposals are evaluated as accumulator deltas and the only
+/// vectors involved are these, refilled in place.
+#[derive(Debug, Default)]
+pub struct AnnealScratch {
+    /// Host ids in `phys.hosts()` order (proposal sampling).
+    pub(crate) hosts: Vec<NodeId>,
+    /// Best placement visited, dense by guest index.
+    pub(crate) best: Vec<NodeId>,
+    /// Guests whose final host differs from the best snapshot (restore).
+    pub(crate) displaced: Vec<GuestId>,
+    warm: bool,
+    reuses: usize,
+}
+
+impl AnnealScratch {
+    /// Fresh, cold scratch.
+    pub fn new() -> Self {
+        AnnealScratch::default()
+    }
+
+    /// Annealing runs that started on already-warm buffers (every use
+    /// after the first). Surfaced in `MapStats::scratch_reuses`.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+
+    /// Clears the buffers for a new run, keeping their capacity.
+    pub(crate) fn begin(&mut self) {
+        if self.warm {
+            self.reuses += 1;
+        }
+        self.warm = true;
+        self.hosts.clear();
+        self.best.clear();
+        self.displaced.clear();
+    }
+}
+
 /// Everything a worker reuses across mapper calls: topology tables plus
 /// the A\*Prune and DFS scratch buffers.
 ///
@@ -161,6 +203,8 @@ pub struct MapCache {
     pub scratch: RouteScratch,
     /// Naive-DFS stack and visited buffers.
     pub dfs: DfsScratch,
+    /// Annealing-loop buffers (host list, best placement, restore list).
+    pub anneal: AnnealScratch,
     /// Structured-event tracer; disabled (zero-cost) by default. Attach a
     /// sink with [`Tracer::new`] to stream [`emumap_trace::TraceEvent`]s
     /// from every mapper run through this cache.

@@ -185,13 +185,20 @@ impl Mapper for Hmn {
                 phase: Phase::Migration,
             });
             let t = Instant::now();
+            let delta_evals_before = state.delta_evaluations();
+            let full_evals_before = state.full_evaluations();
             let m = match self.config.migration {
                 MigrationPolicy::Paper => migration_stage(&mut state),
                 MigrationPolicy::Exhaustive => migration_stage_exhaustive(&mut state),
                 MigrationPolicy::Off => unreachable!("guarded above"),
             };
+            let delta_evaluations = state.delta_evaluations() - delta_evals_before;
+            let full_evaluations = state.full_evaluations() - full_evals_before;
             stats.migrations = m.migrations;
             stats.migrations_rejected = m.rejected;
+            stats.proposals_evaluated = m.proposals_evaluated;
+            stats.delta_evaluations = delta_evaluations as usize;
+            stats.full_evaluations = full_evaluations as usize;
             stats.migration_time = t.elapsed();
             cache.trace.emit(|| TraceEvent::PhaseEnd {
                 phase: Phase::Migration,
@@ -199,6 +206,9 @@ impl Mapper for Hmn {
                 counters: PhaseCounters {
                     moves_accepted: m.migrations as u64,
                     moves_rejected: m.rejected as u64,
+                    proposals_evaluated: m.proposals_evaluated as u64,
+                    delta_evaluations,
+                    full_evaluations,
                     ..Default::default()
                 },
             });

@@ -76,7 +76,7 @@ pub use annealing::{Annealing, AnnealingConfig};
 pub use astar_prune::{
     astar_prune, astar_prune_with, AStarPruneConfig, PathMetric, RouteScratch, SearchStats,
 };
-pub use cache::{ArTables, MapCache};
+pub use cache::{AnnealScratch, ArTables, MapCache};
 pub use consolidation::{drain_stage, ConsolidatingHmn, DrainStats};
 pub use dfs_routing::{
     hop_distances, naive_dfs_route, naive_dfs_route_with, DfsScratch, WANDER_PROBABILITY,

@@ -39,6 +39,15 @@ pub struct MapStats {
     pub hop_tables: usize,
     /// Route searches that ran on warm (reused) scratch buffers.
     pub scratch_reuses: usize,
+    /// Placement proposals whose energy was evaluated (Migration stage
+    /// candidate probes plus annealing Metropolis proposals).
+    pub proposals_evaluated: usize,
+    /// O(1)/O(degree) incremental energy evaluations (accumulator
+    /// `stddev_after` probes plus bandwidth-delta probes).
+    pub delta_evaluations: usize,
+    /// Full objective recomputations: accumulator builds, periodic drift
+    /// refreshes, and resets.
+    pub full_evaluations: usize,
     /// Wall-clock spent in placement (Hosting or random placement).
     pub placement_time: Duration,
     /// Wall-clock spent in the Migration stage.

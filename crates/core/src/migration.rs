@@ -27,6 +27,9 @@ pub struct MigrationStats {
     /// Candidate moves evaluated (destination fits the guest) but not
     /// taken because they failed to improve Eq. 10.
     pub rejected: usize,
+    /// Candidate moves whose objective was evaluated (accepted plus
+    /// rejected) — each one an O(1) delta probe of the accumulator.
+    pub proposals_evaluated: usize,
     /// Objective (Eq. 10) before the stage.
     pub objective_before: f64,
     /// Objective after the stage.
@@ -99,12 +102,13 @@ pub fn migration_stage(state: &mut PlacementState<'_>) -> MigrationStats {
         "migration requires a complete assignment"
     );
     let mut stats = MigrationStats {
-        migrations: 0,
-        rejected: 0,
         objective_before: state.objective(),
-        objective_after: 0.0,
+        ..Default::default()
     };
 
+    // Hoisted out of the loop so the steady-state search allocates
+    // nothing; refilled (capacity kept) each iteration.
+    let mut destinations: Vec<NodeId> = Vec::with_capacity(state.phys().host_count());
     loop {
         let current = state.objective();
         let Some(origin) = most_loaded_occupied_host(state) else {
@@ -113,13 +117,15 @@ pub fn migration_stage(state: &mut PlacementState<'_>) -> MigrationStats {
         let guest = cheapest_guest_to_move(state, origin);
 
         // Destinations from least loaded (largest residual CPU) downward.
-        let mut destinations: Vec<NodeId> = state
-            .phys()
-            .hosts()
-            .iter()
-            .copied()
-            .filter(|&h| h != origin)
-            .collect();
+        destinations.clear();
+        destinations.extend(
+            state
+                .phys()
+                .hosts()
+                .iter()
+                .copied()
+                .filter(|&h| h != origin),
+        );
         destinations.sort_by(|&a, &b| {
             state
                 .residual()
@@ -130,10 +136,11 @@ pub fn migration_stage(state: &mut PlacementState<'_>) -> MigrationStats {
         });
 
         let mut moved = false;
-        for dest in destinations {
+        for &dest in &destinations {
             if !state.fits(guest, dest) {
                 continue;
             }
+            stats.proposals_evaluated += 1;
             if state.objective_if_migrated(guest, dest) < current {
                 state.migrate(guest, dest).expect("fit checked");
                 stats.migrations += 1;
@@ -161,12 +168,11 @@ pub fn migration_stage_exhaustive(state: &mut PlacementState<'_>) -> MigrationSt
         "migration requires a complete assignment"
     );
     let mut stats = MigrationStats {
-        migrations: 0,
-        rejected: 0,
         objective_before: state.objective(),
-        objective_after: 0.0,
+        ..Default::default()
     };
 
+    let mut guests: Vec<GuestId> = Vec::new();
     loop {
         let current = state.objective();
         let Some(origin) = most_loaded_occupied_host(state) else {
@@ -174,13 +180,15 @@ pub fn migration_stage_exhaustive(state: &mut PlacementState<'_>) -> MigrationSt
         };
         // Best move: (objective gain, guest co-located bw as tiebreak).
         let mut best: Option<(f64, emumap_model::Kbps, GuestId, NodeId)> = None;
-        let guests: Vec<GuestId> = state.guests_on(origin).to_vec();
-        for g in guests {
+        guests.clear();
+        guests.extend_from_slice(state.guests_on(origin));
+        for &g in &guests {
             let colo = state.co_located_bandwidth(g);
             for &dest in state.phys().hosts() {
                 if dest == origin || !state.fits(g, dest) {
                     continue;
                 }
+                stats.proposals_evaluated += 1;
                 let after = state.objective_if_migrated(g, dest);
                 if after >= current - 1e-12 {
                     stats.rejected += 1;
@@ -249,6 +257,11 @@ mod tests {
             "uniform guests over uniform hosts balance exactly"
         );
         assert_eq!(stats.migrations, 3);
+        assert_eq!(
+            stats.proposals_evaluated,
+            stats.migrations + stats.rejected,
+            "every evaluated candidate is either taken or rejected"
+        );
         // One guest per host.
         for &h in p.hosts() {
             assert_eq!(st.guests_on(h).len(), 1);
@@ -271,6 +284,7 @@ mod tests {
             stats.rejected, 1,
             "the one fitting destination was evaluated and rejected"
         );
+        assert_eq!(stats.proposals_evaluated, 1);
     }
 
     #[test]
@@ -319,6 +333,7 @@ mod tests {
         // is not an evaluated proposal, so nothing counts as rejected.
         assert_eq!(stats.migrations, 0);
         assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.proposals_evaluated, 0);
     }
 
     #[test]

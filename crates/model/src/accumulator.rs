@@ -1,0 +1,297 @@
+//! O(1) incremental evaluation of the Eq. 10 objective.
+//!
+//! Every annealing proposal and Migration-stage candidate needs the
+//! population standard deviation of per-host residual CPU. Recomputing it
+//! from the residual vector is O(hosts) per probe (and allocates); the
+//! search loops probe thousands of times per mapping, so the objective is
+//! the inner-kernel cost. [`ObjectiveAccumulator`] maintains running sums
+//! of the residuals so that
+//!
+//! * `stddev()` is O(1),
+//! * a single residual change (`apply`) is O(1), and
+//! * a *hypothetical* set of changes (`stddev_after`) is O(changes)
+//!   without mutating anything — the delta-evaluation primitive.
+//!
+//! # Numerical policy
+//!
+//! Raw Σx / Σx² sums cancel catastrophically when the mean is large
+//! relative to the spread (residuals sit near host capacity, ~10³, while
+//! the interesting stddevs go to 0), so the sums are kept over deviations
+//! from a fixed *shift* (the mean at the last rebuild). Each O(1) update
+//! still rounds at the scale of the *squared* deviations, so the drift
+//! budget is relative to the data magnitude, not to the (possibly tiny)
+//! stddev: `|accumulated − exact| ≤ 1e-9 · (1 + |exact| + |shift|)`. Two
+//! guards keep long apply streams inside that budget:
+//!
+//! * a periodic exact rebuild every [`REFRESH_INTERVAL`] applies (callers
+//!   poll [`needs_refresh`](ObjectiveAccumulator::needs_refresh) and hand
+//!   back the exact residual vector), which also re-centers the shift;
+//! * in debug builds, every rebuild asserts the accumulated stddev agrees
+//!   with the exact recompute, so drift can never silently exceed the
+//!   refresh policy's budget.
+
+use crate::objective::population_stddev;
+
+/// Exact rebuilds are requested after this many O(1) updates — frequent
+/// enough that float drift stays orders of magnitude below the 1e-9
+/// equivalence tolerance, rare enough to amortize to nothing.
+pub const REFRESH_INTERVAL: u64 = 4096;
+
+/// Running Σ/Σ² view of a residual-CPU vector with O(1) stddev.
+///
+/// The accumulator never owns the residuals; it shadows whatever vector
+/// the caller maintains. The caller must report every change via
+/// [`apply`](Self::apply) (or [`rebuild`](Self::rebuild) wholesale) or the
+/// view goes stale — `emumap-core`'s `PlacementState` funnels all CPU
+/// mutations through its assign/unassign pair for exactly this reason.
+#[derive(Clone, Debug)]
+pub struct ObjectiveAccumulator {
+    /// Number of tracked values (hosts).
+    n: usize,
+    /// Fixed shift point; sums are over deviations `x − shift`.
+    shift: f64,
+    /// Σ (x − shift).
+    sum: f64,
+    /// Σ (x − shift)².
+    sum_sq: f64,
+    /// O(1) updates since the last exact rebuild.
+    updates: u64,
+    /// Exact rebuilds performed (the "full evaluation" counter surfaced
+    /// in traces; includes the initial build).
+    rebuilds: u64,
+}
+
+impl ObjectiveAccumulator {
+    /// Builds the accumulator over `values` (one entry per host).
+    pub fn new(values: &[f64]) -> Self {
+        let mut acc = ObjectiveAccumulator {
+            n: values.len(),
+            shift: 0.0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            updates: 0,
+            rebuilds: 0,
+        };
+        acc.rebuild(values);
+        acc
+    }
+
+    /// Number of tracked values.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when no values are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Exact rebuilds performed so far (includes the initial build).
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// `true` once enough O(1) updates have accumulated that the caller
+    /// should hand back the exact vector via [`rebuild`](Self::rebuild).
+    pub fn needs_refresh(&self) -> bool {
+        self.updates >= REFRESH_INTERVAL
+    }
+
+    /// Periodic exact refresh: `values` must be the vector the accumulator
+    /// currently shadows. In debug builds, asserts the accumulated stddev
+    /// had not drifted past [`drift_budget`](Self::drift_budget) from the
+    /// exact recompute (the invariant the refresh policy maintains), then
+    /// rebuilds.
+    pub fn refresh(&mut self, values: &[f64]) {
+        debug_assert_eq!(self.n, values.len(), "tracked value count changed");
+        debug_assert!(
+            {
+                let exact = population_stddev(values);
+                (self.stddev() - exact).abs() <= self.drift_budget(exact)
+            },
+            "accumulator drifted beyond the refresh policy's budget"
+        );
+        self.rebuild(values);
+    }
+
+    /// Maximum absolute stddev drift the refresh policy tolerates against
+    /// an exact recompute of `exact`. Relative to the data scale (the
+    /// shift, i.e. the mean at the last rebuild): per-apply rounding is
+    /// proportional to the squared deviations, and near-zero variance
+    /// amplifies any absolute Σ² error through the cancellation, so a
+    /// bound relative only to `exact` would be unsatisfiable.
+    pub fn drift_budget(&self, exact: f64) -> f64 {
+        1e-9 * (1.0 + exact.abs() + self.shift.abs())
+    }
+
+    /// Recomputes the sums exactly from `values`, re-centering the shift
+    /// on the current mean. Unlike [`refresh`](Self::refresh) this makes
+    /// no claim that `values` matches the previously tracked state — it is
+    /// the re-sync point after a wholesale state replacement (`reset`).
+    pub fn rebuild(&mut self, values: &[f64]) {
+        self.n = values.len();
+        self.shift = if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        };
+        self.sum = values.iter().map(|&x| x - self.shift).sum();
+        self.sum_sq = values.iter().map(|&x| (x - self.shift).powi(2)).sum();
+        self.updates = 0;
+        self.rebuilds += 1;
+    }
+
+    /// Reports that one tracked value changed from `old` to `new`. O(1).
+    #[inline]
+    pub fn apply(&mut self, old: f64, new: f64) {
+        let (d_old, d_new) = (old - self.shift, new - self.shift);
+        self.sum += d_new - d_old;
+        self.sum_sq += d_new * d_new - d_old * d_old;
+        self.updates += 1;
+    }
+
+    /// Population standard deviation of the tracked values. O(1).
+    #[inline]
+    pub fn stddev(&self) -> f64 {
+        self.variance_of(self.sum, self.sum_sq).sqrt()
+    }
+
+    /// Standard deviation *if* each `(old, new)` change in `changes` were
+    /// applied, without mutating the accumulator. O(changes) — the
+    /// delta-evaluation primitive behind `objective_if_migrated`.
+    #[inline]
+    pub fn stddev_after<I>(&self, changes: I) -> f64
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        let (mut sum, mut sum_sq) = (self.sum, self.sum_sq);
+        for (old, new) in changes {
+            let (d_old, d_new) = (old - self.shift, new - self.shift);
+            sum += d_new - d_old;
+            sum_sq += d_new * d_new - d_old * d_old;
+        }
+        self.variance_of(sum, sum_sq).sqrt()
+    }
+
+    /// `Var = Σd²/n − (Σd/n)²`, clamped against the tiny negative values
+    /// float cancellation can produce near zero variance.
+    #[inline]
+    fn variance_of(&self, sum: f64, sum_sq: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let mean = sum / n;
+        (sum_sq / n - mean * mean).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()), "{a} vs {b}");
+    }
+
+    #[test]
+    fn matches_exact_stddev_on_build() {
+        let v = [1000.0, 750.0, 1000.0, 420.0];
+        assert_close(
+            ObjectiveAccumulator::new(&v).stddev(),
+            population_stddev(&v),
+        );
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        let acc = ObjectiveAccumulator::new(&[]);
+        assert!(acc.is_empty());
+        assert_eq!(acc.stddev(), 0.0);
+        assert_eq!(acc.stddev_after([]), 0.0);
+    }
+
+    #[test]
+    fn apply_tracks_mutations_exactly_enough() {
+        let mut v = vec![2000.0, 2000.0, 2000.0, 2000.0];
+        let mut acc = ObjectiveAccumulator::new(&v);
+        // Walk through a few hundred placements/removals.
+        for i in 0..400usize {
+            let idx = (i * 7) % v.len();
+            let delta = if i % 3 == 0 { -137.5 } else { 61.25 };
+            let old = v[idx];
+            v[idx] += delta;
+            acc.apply(old, v[idx]);
+            assert_close(acc.stddev(), population_stddev(&v));
+        }
+    }
+
+    #[test]
+    fn perfectly_balanced_is_exactly_zero() {
+        // Integer-valued doubles: the shifted sums cancel exactly, so a
+        // balanced state reports 0.0 (the Migration tests rely on this).
+        let mut acc = ObjectiveAccumulator::new(&[1000.0, 1000.0, 600.0, 1400.0]);
+        acc.apply(600.0, 1000.0);
+        acc.apply(1400.0, 1000.0);
+        assert_eq!(acc.stddev(), 0.0);
+    }
+
+    #[test]
+    fn stddev_after_is_hypothetical() {
+        let v = [900.0, 1100.0, 1000.0];
+        let acc = ObjectiveAccumulator::new(&v);
+        let moved = [1000.0, 1000.0, 1000.0];
+        assert_close(
+            acc.stddev_after([(900.0, 1000.0), (1100.0, 1000.0)]),
+            population_stddev(&moved),
+        );
+        // The accumulator itself is untouched.
+        assert_close(acc.stddev(), population_stddev(&v));
+    }
+
+    #[test]
+    fn negative_residuals_are_fine() {
+        let v = [-100.0, 100.0];
+        let acc = ObjectiveAccumulator::new(&v);
+        assert_close(acc.stddev(), 100.0);
+    }
+
+    #[test]
+    fn refresh_cycle_resets_update_counter() {
+        let mut v = vec![1000.0; 8];
+        let mut acc = ObjectiveAccumulator::new(&v);
+        assert_eq!(acc.rebuilds(), 1);
+        for i in 0..REFRESH_INTERVAL {
+            let idx = (i as usize) % v.len();
+            let old = v[idx];
+            v[idx] = old + if i % 2 == 0 { 50.0 } else { -50.0 };
+            acc.apply(old, v[idx]);
+        }
+        assert!(acc.needs_refresh());
+        acc.refresh(&v);
+        assert!(!acc.needs_refresh());
+        assert_eq!(acc.rebuilds(), 2);
+        assert_close(acc.stddev(), population_stddev(&v));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "drifted")]
+    fn refresh_debug_asserts_against_drift() {
+        let mut acc = ObjectiveAccumulator::new(&[1.0, 2.0, 3.0]);
+        // Lie about a change; the next refresh must catch the divergence.
+        acc.apply(1.0, 500.0);
+        acc.refresh(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn rebuild_resyncs_to_replaced_state() {
+        // `rebuild` (unlike `refresh`) accepts a wholesale replacement —
+        // the reset path — without claiming continuity.
+        let mut acc = ObjectiveAccumulator::new(&[1.0, 2.0, 3.0]);
+        acc.apply(3.0, 10.0);
+        acc.rebuild(&[5.0, 5.0]);
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc.stddev(), 0.0);
+    }
+}

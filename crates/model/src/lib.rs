@@ -45,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accumulator;
 mod mapping;
 pub mod objective;
 mod physical;
@@ -53,6 +54,7 @@ mod resources;
 pub mod validate;
 mod virtualenv;
 
+pub use accumulator::{ObjectiveAccumulator, REFRESH_INTERVAL};
 pub use mapping::{Mapping, Route};
 pub use physical::{HostSpec, LinkSpec, PhysNode, PhysicalTopology, VmmOverhead};
 pub use residual::{PlaceError, ResidualState};

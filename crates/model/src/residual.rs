@@ -191,6 +191,16 @@ impl ResidualState {
     pub fn host_proc_residuals(&self, phys: &PhysicalTopology) -> Vec<f64> {
         phys.hosts().iter().map(|&h| self.proc[h.index()]).collect()
     }
+
+    /// Allocation-free variant of
+    /// [`host_proc_residuals`](Self::host_proc_residuals): fills `out`
+    /// (cleared first) with the host-order residual CPU vector. The search
+    /// loops refresh their objective accumulator through a reused scratch
+    /// buffer via this.
+    pub fn host_proc_residuals_into(&self, phys: &PhysicalTopology, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(phys.hosts().iter().map(|&h| self.proc[h.index()]));
+    }
 }
 
 #[cfg(test)]

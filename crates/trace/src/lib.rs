@@ -58,6 +58,18 @@ pub struct PhaseCounters {
     pub moves_accepted: u64,
     /// Migration: candidate moves evaluated but not taken.
     pub moves_rejected: u64,
+    /// Migration: candidate moves whose energy was evaluated (accepted
+    /// plus rejected). Deterministic — a pure function of the decision
+    /// stream.
+    pub proposals_evaluated: u64,
+    /// Migration: hypothetical evaluations served by the O(1)/O(degree)
+    /// delta paths (objective accumulator + CSR bandwidth delta) instead
+    /// of a full recompute. Deterministic.
+    pub delta_evaluations: u64,
+    /// Migration: full O(hosts) objective evaluations (accumulator builds
+    /// and periodic drift refreshes). Deterministic — refresh cadence is
+    /// driven by update counts, not wall clock.
+    pub full_evaluations: u64,
     /// Networking: A*Prune nodes expanded.
     pub astar_expansions: u64,
     /// Networking: A*Prune nodes pushed onto the open list.

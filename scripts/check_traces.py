@@ -12,7 +12,12 @@ file this asserts the structural contract CI relies on:
   * the stream opens with MapStart and closes with MapEnd;
   * PhaseStart/PhaseEnd pairs are properly bracketed (no overlap, End
     matches the open phase) and phases appear in pipeline order;
-  * PhaseEnd carries non-negative integer timings and counters.
+  * PhaseEnd carries non-negative integer timings and counters;
+  * a Migration PhaseEnd satisfies the delta-evaluation invariant:
+    every evaluated proposal performs at least one incremental probe, so
+    delta_evaluations >= proposals_evaluated (the annealer probes twice
+    per proposal when its bandwidth term is on; the Migration stage
+    exactly once).
 
 Exits non-zero with one line per violation, so a CI failure names the file
 and line.
@@ -93,6 +98,15 @@ def check_file(path: pathlib.Path) -> list[str]:
                 not isinstance(v, int) or v < 0 for v in counters.values()
             ):
                 errors.append(f"{path}:{i}: bad counters {counters!r}")
+            elif phase == "Migration":
+                proposals = counters.get("proposals_evaluated", 0)
+                deltas = counters.get("delta_evaluations", 0)
+                if deltas < proposals:
+                    errors.append(
+                        f"{path}:{i}: delta_evaluations {deltas} < "
+                        f"proposals_evaluated {proposals} (each evaluated "
+                        "proposal must use at least one incremental probe)"
+                    )
     if open_phase is not None:
         errors.append(f"{path}: phase {open_phase} never closed")
     return errors
