@@ -6,7 +6,7 @@ use emumap_bench::parallel::ParallelRunner;
 use emumap_core::{
     cluster_diagnostics, solve_exact_with, Annealing, BestFit, ConsolidatingHmn, ExactConfig,
     ExactStatus, FirstFitDecreasing, HeuristicPool, Hmn, HostingDfs, MapCache, MapOutcome, Mapper,
-    PoolPolicy, RandomAStar, RandomDfs, WorstFit,
+    ParallelTempering, PoolPolicy, RandomAStar, RandomDfs, WorstFit,
 };
 use emumap_model::{validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment};
 use emumap_sim::{run_experiment, ExperimentSpec};
@@ -55,7 +55,7 @@ subcommands:
   gen-venv --workload high|low --guests N --density D [--seed S] -o venv.json
       generate a Table 1 virtual environment
   map --phys phys.json --venv venv.json
-      [--mapper hmn|r|ra|hs|ffd|bf|wf|consolidate|sa|pool]
+      [--mapper hmn|r|ra|hs|ffd|bf|wf|consolidate|sa|pt|pool]
       [--seed S] [--attempts A] [-o mapping.json] [--trace events.jsonl]
       map the environment; prints objective and stats; on failure prints
       capacity diagnostics (memory/CPU/latency/bandwidth headroom);
@@ -128,6 +128,7 @@ fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError
         "wf" => Box::new(WorstFit::default()),
         "consolidate" => Box::new(ConsolidatingHmn::default()),
         "sa" => Box::new(Annealing::default()),
+        "pt" => Box::new(ParallelTempering::default()),
         "pool" => Box::new(HeuristicPool::new(
             vec![
                 Box::new(Hmn::new()),
@@ -143,7 +144,7 @@ fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError
         )),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown mapper '{other}' (hmn|r|ra|hs|ffd|bf|wf|consolidate|sa|pool)"
+                "unknown mapper '{other}' (hmn|r|ra|hs|ffd|bf|wf|consolidate|sa|pt|pool)"
             )))
         }
     })
@@ -533,6 +534,11 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
 
     let runner = ParallelRunner::new(threads);
     let started = std::time::Instant::now();
+    // Periodic progress to stderr (stdout carries the deterministic
+    // report): every ~10% of trials, whichever worker crosses the line.
+    let total_trials = work.len();
+    let progress_every = (total_trials / 10).max(1);
+    let done = std::sync::atomic::AtomicUsize::new(0);
     // Each trial also carries its mapping back so --exact-check can feed
     // the successes to the oracle as witnesses.
     let results: Vec<(TrialRecord, Option<Mapping>)> = runner.run(work, |(mi, rep), cache| {
@@ -550,6 +556,13 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         let mapped = mapper.map_with_cache(&phys, &venv, &mut rng, cache);
         if let Some(mut sink) = cache.trace.take_sink() {
             let _ = sink.flush();
+        }
+        let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        if finished.is_multiple_of(progress_every) || finished == total_trials {
+            eprintln!(
+                "batch progress  : {finished}/{total_trials} trials done, {:.1}s elapsed",
+                started.elapsed().as_secs_f64()
+            );
         }
         match mapped {
             Ok(o) => (
@@ -862,7 +875,19 @@ mod tests {
 
     #[test]
     fn every_mapper_name_builds() {
-        for name in ["hmn", "r", "ra", "hs", "consolidate", "sa", "pool"] {
+        for name in [
+            "hmn",
+            "r",
+            "ra",
+            "hs",
+            "ffd",
+            "bf",
+            "wf",
+            "consolidate",
+            "sa",
+            "pt",
+            "pool",
+        ] {
             assert!(build_mapper(name, 10).is_ok(), "{name}");
         }
         assert!(matches!(build_mapper("nope", 10), Err(CliError::Usage(_))));

@@ -53,6 +53,18 @@ pub struct AStarPruneConfig {
     /// A safety valve against pathological exponential blow-ups in dense
     /// graphs; the paper's 40-host clusters stay far below it.
     pub max_expansions: usize,
+    /// Per-node Pareto dominance pruning (datacenter-scale accelerator):
+    /// drop a candidate reaching a node with `(bottleneck, latency, hops)`
+    /// all no better than a label already recorded there. On
+    /// high-multiplicity fabrics (fat-trees), where the exhaustive search
+    /// enumerates every loop-free path inside the latency bound, this keeps
+    /// the frontier near-linear in the node count. It is a heuristic: the
+    /// dominating label's extensions may be blocked by the loop check where
+    /// the dominated one's were not, so in adversarial topologies a feasible
+    /// path can be missed, and tie-breaking among equal-metric paths can
+    /// differ from the exhaustive order. Paper-faithful runs leave it off
+    /// (the default); the 10k-host scale bench switches it on.
+    pub prune_dominated: bool,
 }
 
 impl Default for AStarPruneConfig {
@@ -61,6 +73,7 @@ impl Default for AStarPruneConfig {
             metric: PathMetric::BottleneckBandwidth,
             use_latency_lower_bound: true,
             max_expansions: 1_000_000,
+            prune_dominated: false,
         }
     }
 }
@@ -73,6 +86,9 @@ pub struct SearchStats {
     pub expanded: usize,
     /// Partial paths pushed into the candidate set.
     pub pushed: usize,
+    /// Candidates dropped by Pareto dominance pruning (0 unless
+    /// [`AStarPruneConfig::prune_dominated`] is set).
+    pub dominated: usize,
 }
 
 /// One arena slot: a partial path represented as a parent pointer.
@@ -145,6 +161,10 @@ pub struct RouteScratch {
     arena: Vec<PathNode>,
     heap: BinaryHeap<Candidate>,
     on_path: Vec<NodeId>,
+    /// Per-node Pareto labels `(bottleneck, latency, hops)` for dominance
+    /// pruning; indexed by node, reset lazily via `touched`.
+    labels: Vec<Vec<(f64, f64, u32)>>,
+    touched: Vec<u32>,
     warm: bool,
     reuses: usize,
 }
@@ -170,6 +190,10 @@ impl RouteScratch {
         self.arena.clear();
         self.heap.clear();
         self.on_path.clear();
+        for &t in &self.touched {
+            self.labels[t as usize].clear();
+        }
+        self.touched.clear();
     }
 }
 
@@ -250,8 +274,13 @@ pub fn astar_prune_with(
         arena,
         heap,
         on_path,
+        labels,
+        touched,
         ..
     } = scratch;
+    if config.prune_dominated && labels.len() < csr.node_count() {
+        labels.resize(csr.node_count(), Vec::new());
+    }
     arena.push(PathNode {
         parent: ROOT,
         edge: EdgeId::from_index(0),
@@ -321,6 +350,22 @@ pub fn astar_prune_with(
                 continue;
             }
             let bottleneck = best.bottleneck.min(avail);
+            let hops = best.hops + 1;
+            if config.prune_dominated {
+                let slot = &mut labels[h.index()];
+                if slot
+                    .iter()
+                    .any(|&(b, l, k)| b >= bottleneck && l <= acc && k <= hops)
+                {
+                    stats.dominated += 1;
+                    continue;
+                }
+                if slot.is_empty() {
+                    touched.push(u32::try_from(h.index()).expect("node fits in u32"));
+                }
+                slot.retain(|&(b, l, k)| !(b <= bottleneck && l >= acc && k >= hops));
+                slot.push((bottleneck, acc, hops));
+            }
             let arena_index = u32::try_from(arena.len()).expect("arena fits in u32");
             arena.push(PathNode {
                 parent: best.arena_index,
@@ -330,11 +375,11 @@ pub fn astar_prune_with(
             seq += 1;
             stats.pushed += 1;
             heap.push(Candidate {
-                key: make_key(config.metric, bottleneck, acc, best.hops + 1, seq),
+                key: make_key(config.metric, bottleneck, acc, hops, seq),
                 arena_index,
                 bottleneck,
                 latency: acc,
-                hops: best.hops + 1,
+                hops,
             });
         }
     }
@@ -707,5 +752,116 @@ mod tests {
             &cfg,
         );
         assert_eq!(a.map(|(p, _)| p), b.map(|(p, _)| p));
+    }
+
+    /// Sum of link latencies and minimum residual bandwidth along a path.
+    fn path_cost(phys: &PhysicalTopology, residual: &ResidualState, path: &[EdgeId]) -> (f64, f64) {
+        let lat = path.iter().map(|&e| phys.link(e).lat.value()).sum();
+        let bw = path
+            .iter()
+            .map(|&e| residual.bw(e).value())
+            .fold(f64::INFINITY, f64::min);
+        (lat, bw)
+    }
+
+    #[test]
+    fn dominance_pruning_preserves_widest_bottleneck() {
+        // A torus has many equal-latency alternates, the worst case for the
+        // exhaustive search. The pruned search must return a path with the
+        // same bottleneck bandwidth and latency while expanding fewer
+        // partial paths.
+        let phys = PhysicalTopology::from_shape(
+            &generators::torus2d(6, 6),
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(1000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let residual = ResidualState::new(&phys);
+        let pruned_cfg = AStarPruneConfig {
+            prune_dominated: true,
+            ..Default::default()
+        };
+        let exhaustive_cfg = AStarPruneConfig::default();
+        for (from, to, bound) in [(0usize, 21usize, 60.0), (3, 32, 75.0), (7, 28, 90.0)] {
+            let dest = phys.hosts()[to];
+            let ar = ar_for(&phys, dest);
+            let origin = phys.hosts()[from];
+            let (full, full_stats) = astar_prune(
+                &phys,
+                &residual,
+                origin,
+                dest,
+                Kbps(10.0),
+                Millis(bound),
+                &ar,
+                &exhaustive_cfg,
+            )
+            .expect("exhaustive search finds a path");
+            let (pruned, pruned_stats) = astar_prune(
+                &phys,
+                &residual,
+                origin,
+                dest,
+                Kbps(10.0),
+                Millis(bound),
+                &ar,
+                &pruned_cfg,
+            )
+            .expect("pruned search finds a path");
+            assert_eq!(
+                path_cost(&phys, &residual, &full),
+                path_cost(&phys, &residual, &pruned),
+            );
+            assert!(pruned_stats.expanded <= full_stats.expanded);
+            assert!(pruned_stats.dominated > 0, "torus must trigger pruning");
+            assert_eq!(full_stats.dominated, 0, "exhaustive mode never prunes");
+        }
+    }
+
+    #[test]
+    fn dominance_pruning_scratch_reuse_is_pure() {
+        // The per-node label store must reset between searches: a warm
+        // scratch has to reproduce the fresh-scratch result exactly.
+        let phys = PhysicalTopology::from_shape(
+            &generators::torus2d(5, 5),
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(1000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let residual = ResidualState::new(&phys);
+        let cfg = AStarPruneConfig {
+            prune_dominated: true,
+            ..Default::default()
+        };
+        let csr = phys.graph().to_csr();
+        let mut warm = RouteScratch::new();
+        for (from, to, bound) in [(0usize, 12usize, 50.0), (4, 20, 60.0), (2, 17, 45.0)] {
+            let dest = phys.hosts()[to];
+            let ar = ar_for(&phys, dest);
+            let origin = phys.hosts()[from];
+            let fresh = astar_prune(
+                &phys,
+                &residual,
+                origin,
+                dest,
+                Kbps(5.0),
+                Millis(bound),
+                &ar,
+                &cfg,
+            );
+            let reused = astar_prune_with(
+                &phys,
+                &residual,
+                origin,
+                dest,
+                Kbps(5.0),
+                Millis(bound),
+                &ar,
+                &cfg,
+                &csr,
+                &mut warm,
+            );
+            assert_eq!(fresh, reused);
+        }
     }
 }

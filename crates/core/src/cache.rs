@@ -64,6 +64,12 @@ fn topology_fingerprint(phys: &PhysicalTopology) -> u64 {
 /// environments on the same cluster.
 #[derive(Debug, Default)]
 pub struct ArTables {
+    /// Generation of the topology the tables were built for (0 = unset).
+    /// Matching this is the O(1) fast path of [`prepare`](Self::prepare);
+    /// the content fingerprint below is the O(E) fallback that still
+    /// keeps tables when an identical topology arrives under a new
+    /// generation (e.g. a re-deserialized file).
+    generation: u64,
     fingerprint: u64,
     prepared: bool,
     csr: CsrAdjacency,
@@ -83,10 +89,20 @@ impl ArTables {
     /// all tables if the topology changed since the last call. Returns
     /// `true` when the cached tables were kept (same topology).
     pub fn prepare(&mut self, phys: &PhysicalTopology) -> bool {
-        let fp = topology_fingerprint(phys);
-        if self.prepared && fp == self.fingerprint {
+        // O(1) fast path: same topology value (or a clone of it) as last
+        // time. Every trial of a benchmark sweep after the first takes
+        // this branch instead of re-hashing all edges.
+        if self.prepared && phys.generation() == self.generation {
             return true;
         }
+        let fp = topology_fingerprint(phys);
+        if self.prepared && fp == self.fingerprint {
+            // Different value, identical content (e.g. re-parsed JSON):
+            // keep the tables and adopt the new generation.
+            self.generation = phys.generation();
+            return true;
+        }
+        self.generation = phys.generation();
         self.fingerprint = fp;
         self.prepared = true;
         self.csr = phys.graph().to_csr();
@@ -129,6 +145,26 @@ impl ArTables {
             self.hits += 1;
         }
         self.hops.get(&dest).expect("just inserted")
+    }
+
+    /// Like [`hops`](Self::hops) but also hands back the CSR snapshot
+    /// under the same borrow (the DFS baselines route through it).
+    pub fn hops_and_csr(
+        &mut self,
+        phys: &PhysicalTopology,
+        dest: NodeId,
+    ) -> (&[f64], &CsrAdjacency) {
+        debug_assert!(self.prepared, "call ArTables::prepare first");
+        if !self.hops.contains_key(&dest) {
+            self.dijkstra_runs += 1;
+            let table = dijkstra_csr(phys.graph(), &self.csr, dest, |_, _| 1.0)
+                .distances()
+                .to_vec();
+            self.hops.insert(dest, table);
+        } else {
+            self.hits += 1;
+        }
+        (self.hops.get(&dest).expect("just inserted"), &self.csr)
     }
 
     /// The CSR adjacency snapshot of the prepared topology.
@@ -247,6 +283,23 @@ mod tests {
         let _ = t.ar_and_csr(&phys, dest);
         assert_eq!(t.dijkstra_runs(), 1, "second lookup is a hit");
         assert_eq!(t.hits(), 1);
+    }
+
+    #[test]
+    fn equal_content_under_new_generation_keeps_tables() {
+        let phys = phys_line(4, 5.0);
+        let mut t = ArTables::new();
+        t.prepare(&phys);
+        let _ = t.ar_and_csr(&phys, phys.hosts()[3]);
+        // Round-trip through JSON: same content, fresh generation.
+        let json = serde_json::to_string(&phys).unwrap();
+        let reparsed: PhysicalTopology = serde_json::from_str(&json).unwrap();
+        assert_ne!(reparsed.generation(), phys.generation());
+        assert!(t.prepare(&reparsed), "fingerprint fallback keeps tables");
+        let _ = t.ar_and_csr(&reparsed, reparsed.hosts()[3]);
+        assert_eq!(t.dijkstra_runs(), 1);
+        // And the adopted generation now short-circuits.
+        assert!(t.prepare(&reparsed));
     }
 
     #[test]

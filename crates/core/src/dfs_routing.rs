@@ -31,7 +31,7 @@
 //! EXPERIMENTS.md).
 
 use emumap_graph::algo::dijkstra;
-use emumap_graph::{EdgeId, NodeId};
+use emumap_graph::{CsrAdjacency, EdgeId, NodeId};
 use emumap_model::{Kbps, Millis, PhysicalTopology, ResidualState};
 use rand::seq::SliceRandom;
 use rand::{Rng, RngCore};
@@ -166,6 +166,71 @@ pub fn naive_dfs_route_with(
     rng: &mut dyn RngCore,
     scratch: &mut DfsScratch,
 ) -> Option<Vec<EdgeId>> {
+    let graph = phys.graph();
+    dfs_route_impl(
+        phys,
+        residual,
+        origin,
+        destination,
+        demand,
+        latency_bound,
+        hops_to_dest,
+        rng,
+        scratch,
+        |buf, node| buf.extend(graph.neighbors(node).map(|nb| (nb.node, nb.edge))),
+    )
+}
+
+/// [`naive_dfs_route_with`] iterating neighbors through a pre-built
+/// [`CsrAdjacency`] snapshot of the physical graph (e.g. the one cached in
+/// `ArTables`). The snapshot preserves `Graph::neighbors` order, so the
+/// RNG stream and the returned path are bit-identical to the edge-list
+/// entry points — both stay public so the equivalence is property-testable.
+#[allow(clippy::too_many_arguments)] // mirrors the astar_prune signature
+pub fn naive_dfs_route_csr(
+    phys: &PhysicalTopology,
+    csr: &CsrAdjacency,
+    residual: &ResidualState,
+    origin: NodeId,
+    destination: NodeId,
+    demand: Kbps,
+    latency_bound: Millis,
+    hops_to_dest: &[f64],
+    rng: &mut dyn RngCore,
+    scratch: &mut DfsScratch,
+) -> Option<Vec<EdgeId>> {
+    debug_assert_eq!(csr.node_count(), phys.graph().node_count());
+    dfs_route_impl(
+        phys,
+        residual,
+        origin,
+        destination,
+        demand,
+        latency_bound,
+        hops_to_dest,
+        rng,
+        scratch,
+        |buf, node| buf.extend(csr.neighbors(node).iter().map(|nb| (nb.node, nb.edge))),
+    )
+}
+
+/// Shared walk over a pluggable raw-neighbor source. `fill_raw` appends
+/// `(neighbor, edge)` pairs for a node in the graph's canonical neighbor
+/// order; shuffling and distance-sorting happen here so every source
+/// consumes the RNG identically.
+#[allow(clippy::too_many_arguments)]
+fn dfs_route_impl(
+    phys: &PhysicalTopology,
+    residual: &ResidualState,
+    origin: NodeId,
+    destination: NodeId,
+    demand: Kbps,
+    latency_bound: Millis,
+    hops_to_dest: &[f64],
+    rng: &mut dyn RngCore,
+    scratch: &mut DfsScratch,
+    fill_raw: impl Fn(&mut Vec<(NodeId, EdgeId)>, NodeId),
+) -> Option<Vec<EdgeId>> {
     if origin == destination {
         return Some(Vec::new());
     }
@@ -175,7 +240,7 @@ pub fn naive_dfs_route_with(
 
     let fill_neighbors = |buf: &mut Vec<(NodeId, EdgeId)>, node: NodeId, rng: &mut dyn RngCore| {
         buf.clear();
-        buf.extend(graph.neighbors(node).map(|nb| (nb.node, nb.edge)));
+        fill_raw(buf, node);
         buf.shuffle(rng); // random tie-breaking baseline order
         if rng.gen::<f64>() >= WANDER_PROBABILITY {
             // Mostly: head toward the destination (stable sort keeps the
@@ -326,6 +391,52 @@ mod tests {
             );
         }
         assert!(scratch.reuses() > 0);
+    }
+
+    #[test]
+    fn csr_variant_matches_edge_list_variant() {
+        let p = phys(&generators::torus2d(4, 4), 1000.0);
+        let r = ResidualState::new(&p);
+        let csr = p.graph().to_csr();
+        let mut scratch_a = DfsScratch::new();
+        let mut scratch_b = DfsScratch::new();
+        for seed in 0..40u64 {
+            let from = (seed as usize * 5) % 16;
+            let to = (seed as usize * 11 + 3) % 16;
+            let dst = p.hosts()[to];
+            let hops = hop_distances(&p, dst);
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let via_list = naive_dfs_route_with(
+                &p,
+                &r,
+                p.hosts()[from],
+                dst,
+                Kbps(10.0),
+                Millis(60.0),
+                &hops,
+                &mut rng_a,
+                &mut scratch_a,
+            );
+            let via_csr = naive_dfs_route_csr(
+                &p,
+                &csr,
+                &r,
+                p.hosts()[from],
+                dst,
+                Kbps(10.0),
+                Millis(60.0),
+                &hops,
+                &mut rng_b,
+                &mut scratch_b,
+            );
+            assert_eq!(via_list, via_csr, "seed {seed}");
+            assert_eq!(
+                rng_a.gen::<u64>(),
+                rng_b.gen::<u64>(),
+                "seed {seed}: RNG streams diverged"
+            );
+        }
     }
 
     #[test]

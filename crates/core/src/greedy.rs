@@ -25,7 +25,7 @@ use crate::mapper::{MapOutcome, MapStats, Mapper};
 use crate::networking::networking_stage_with;
 use crate::state::PlacementState;
 use emumap_graph::NodeId;
-use emumap_model::{GuestId, Mapping, PhysicalTopology, VirtualEnvironment};
+use emumap_model::{FeasBitset, GuestId, Mapping, PhysicalTopology, VirtualEnvironment};
 use emumap_trace::{Phase, PhaseCounters, TraceEvent};
 use rand::RngCore;
 use std::time::Instant;
@@ -66,29 +66,40 @@ fn place_greedy(state: &mut PlacementState<'_>, rule: Rule) -> Result<(), MapErr
         }),
     }
 
-    let hosts: Vec<NodeId> = state.phys().hosts().to_vec();
+    // Candidate filtering runs over the SoA residual columns: one
+    // branch-light `fill_feasible` pass marks every feasible host slot,
+    // then the rule-specific selection scans only the set bits. This
+    // replaces a per-host `fits` call chain with two linear passes over
+    // dense columns.
+    let mut feasible = FeasBitset::new();
     for g in guests {
-        let candidates = hosts.iter().copied().filter(|&h| state.fits(g, h));
-        let chosen = match rule {
-            // Hosts in id order; first fit.
-            Rule::FirstFitDecreasing => candidates.min_by_key(|&h| h),
-            // Tightest memory fit.
-            Rule::BestFit => candidates.min_by(|&a, &b| {
-                state
-                    .residual()
-                    .mem(a)
-                    .cmp(&state.residual().mem(b))
-                    .then(a.cmp(&b))
-            }),
-            // Most residual CPU.
-            Rule::WorstFit => candidates.max_by(|&a, &b| {
-                state
-                    .residual()
-                    .proc(a)
-                    .partial_cmp(&state.residual().proc(b))
-                    .expect("finite")
-                    .then(b.cmp(&a)) // prefer smaller id on ties
-            }),
+        let spec = venv.guest(g);
+        let r = state.residual();
+        r.fill_feasible(spec, &mut feasible);
+        let chosen: Option<NodeId> = match rule {
+            // Smallest host id; first fit.
+            Rule::FirstFitDecreasing => feasible.iter_ones().map(|s| r.host_at(s)).min(),
+            // Tightest memory fit; smaller id on ties.
+            Rule::BestFit => {
+                let mem = r.mem_column();
+                feasible
+                    .iter_ones()
+                    .map(|s| (mem[s], r.host_at(s)))
+                    .min()
+                    .map(|(_, h)| h)
+            }
+            // Most residual CPU; smaller id on ties.
+            Rule::WorstFit => {
+                let proc = r.proc_column();
+                feasible
+                    .iter_ones()
+                    .map(|s| (proc[s], r.host_at(s)))
+                    .fold(None, |best: Option<(f64, NodeId)>, (p, h)| match best {
+                        Some((bp, bh)) if p < bp || (p == bp && bh < h) => Some((bp, bh)),
+                        _ => Some((p, h)),
+                    })
+                    .map(|(_, h)| h)
+            }
         };
         let host = chosen.ok_or(MapError::HostingFailed { guest: g })?;
         state.assign(g, host).expect("candidate verified");

@@ -77,6 +77,7 @@ impl HmnConfig {
             metric: self.path_metric,
             use_latency_lower_bound: self.use_latency_lower_bound,
             max_expansions: self.max_expansions,
+            prune_dominated: false,
         }
     }
 }

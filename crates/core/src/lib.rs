@@ -68,9 +68,11 @@ pub mod ksp_routing;
 mod mapper;
 pub mod migration;
 pub mod networking;
+pub mod parallel;
 mod pool;
 mod random;
 mod state;
+pub mod tempering;
 
 pub use annealing::{Annealing, AnnealingConfig};
 pub use astar_prune::{
@@ -79,7 +81,8 @@ pub use astar_prune::{
 pub use cache::{AnnealScratch, ArTables, MapCache};
 pub use consolidation::{drain_stage, ConsolidatingHmn, DrainStats};
 pub use dfs_routing::{
-    hop_distances, naive_dfs_route, naive_dfs_route_with, DfsScratch, WANDER_PROBABILITY,
+    hop_distances, naive_dfs_route, naive_dfs_route_csr, naive_dfs_route_with, DfsScratch,
+    WANDER_PROBABILITY,
 };
 pub use diagnostics::{
     cluster_diagnostics, diagnose_route, residual_max_flow, ClusterDiagnostics, RouteVerdict,
@@ -98,6 +101,8 @@ pub use ksp_routing::{networking_stage_ksp, networking_stage_ksp_with, HmnKsp};
 pub use mapper::{MapOutcome, MapStats, Mapper};
 pub use migration::{migration_stage, migration_stage_exhaustive, MigrationPolicy, MigrationStats};
 pub use networking::{networking_stage, networking_stage_with, NetworkingStats};
+pub use parallel::{ParallelRunner, PhaseTotals};
 pub use pool::{HeuristicPool, PoolPolicy};
 pub use random::{HostingDfs, RandomAStar, RandomDfs, DEFAULT_MAX_ATTEMPTS};
 pub use state::PlacementState;
+pub use tempering::{ParallelTempering, TemperingConfig};

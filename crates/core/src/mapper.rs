@@ -48,6 +48,12 @@ pub struct MapStats {
     /// Full objective recomputations: accumulator builds, periodic drift
     /// refreshes, and resets.
     pub full_evaluations: usize,
+    /// Parallel tempering: temperature-exchange attempts between adjacent
+    /// replicas at round checkpoints (0 for every other mapper).
+    pub replica_exchanges: usize,
+    /// Parallel tempering: exchange attempts accepted by the Metropolis
+    /// criterion.
+    pub exchange_accepts: usize,
     /// Wall-clock spent in placement (Hosting or random placement).
     pub placement_time: Duration,
     /// Wall-clock spent in the Migration stage.

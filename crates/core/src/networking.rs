@@ -120,6 +120,7 @@ pub fn networking_stage_with(
         };
         stats.search.expanded += search.expanded;
         stats.search.pushed += search.pushed;
+        stats.search.dominated += search.dominated;
         trace.emit(|| TraceEvent::LinkRouted {
             link: l.index() as u64,
             hops: edges.len() as u64,

@@ -26,7 +26,7 @@
 
 use crate::astar_prune::AStarPruneConfig;
 use crate::cache::MapCache;
-use crate::dfs_routing::naive_dfs_route_with;
+use crate::dfs_routing::naive_dfs_route_csr;
 use crate::error::MapError;
 use crate::hosting::{hosting_stage, links_by_descending_bw};
 use crate::mapper::{MapOutcome, MapStats, Mapper};
@@ -108,9 +108,10 @@ fn dfs_routing(
             continue;
         }
         let spec = *venv.link(l);
-        let hops = topo.hops(phys, hd);
-        match naive_dfs_route_with(
+        let (hops, csr) = topo.hops_and_csr(phys, hd);
+        match naive_dfs_route_csr(
             phys,
+            csr,
             state.residual(),
             hs,
             hd,

@@ -57,7 +57,7 @@ mod virtualenv;
 pub use accumulator::{ObjectiveAccumulator, REFRESH_INTERVAL};
 pub use mapping::{Mapping, Route};
 pub use physical::{HostSpec, LinkSpec, PhysNode, PhysicalTopology, VmmOverhead};
-pub use residual::{PlaceError, ResidualState};
+pub use residual::{FeasBitset, PlaceError, ResidualState};
 pub use resources::{Kbps, MemMb, Millis, Mips, StorGb};
 pub use validate::{validate_mapping, Violation};
 pub use virtualenv::{GuestId, GuestSpec, VLinkId, VLinkSpec, VirtualEnvironment};

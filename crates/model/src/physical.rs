@@ -5,6 +5,15 @@ use crate::resources::{Kbps, MemMb, Millis, Mips, StorGb};
 use emumap_graph::generators::{Role, Topology};
 use emumap_graph::{EdgeId, Graph, NodeId};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide source of topology generation ids. Starts at 1 so 0 can
+/// serve as an "unset" sentinel in caches.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Capacities of one physical host, *before* VMM overhead deduction.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -93,11 +102,43 @@ impl LinkSpec {
 /// links. This is the graph `c = (C, E_c)` of §3.2, generalized with switch
 /// nodes so the cascaded-switch topology of the evaluation is expressible
 /// (switches forward traffic but receive no guests).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PhysicalTopology {
     graph: Graph<PhysNode, LinkSpec>,
     hosts: Vec<NodeId>,
     vmm: VmmOverhead,
+    /// Identity of this topology for cache invalidation. Two values built
+    /// in the same process never share a generation unless one is a clone
+    /// of the other (a clone *is* the same topology: there are no
+    /// mutators). Not serialized — a deserialized topology gets a fresh
+    /// id, so caches warmed on other content can never be mistaken for
+    /// current.
+    generation: u64,
+}
+
+// Manual impls rather than derive: `generation` is a process-local cache
+// key that must never hit the wire, and a deserialized topology must get
+// a fresh one. The field set matches the pre-generation wire format.
+impl Serialize for PhysicalTopology {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("graph".to_string(), self.graph.to_value()),
+            ("hosts".to_string(), self.hosts.to_value()),
+            ("vmm".to_string(), self.vmm.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PhysicalTopology {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let pairs = value.expect_object("PhysicalTopology")?;
+        Ok(PhysicalTopology {
+            graph: serde::__field(pairs, "graph", "PhysicalTopology")?,
+            hosts: serde::__field(pairs, "hosts", "PhysicalTopology")?,
+            vmm: serde::__field(pairs, "vmm", "PhysicalTopology")?,
+            generation: fresh_generation(),
+        })
+    }
 }
 
 impl PhysicalTopology {
@@ -137,7 +178,12 @@ impl PhysicalTopology {
         for e in shape.edges() {
             graph.add_edge(e.a, e.b, link);
         }
-        PhysicalTopology { graph, hosts, vmm }
+        PhysicalTopology {
+            graph,
+            hosts,
+            vmm,
+            generation: fresh_generation(),
+        }
     }
 
     /// Builds a physical topology directly from a decorated graph.
@@ -147,7 +193,12 @@ impl PhysicalTopology {
             .filter(|(_, n)| n.is_host())
             .map(|(id, _)| id)
             .collect();
-        PhysicalTopology { graph, hosts, vmm }
+        PhysicalTopology {
+            graph,
+            hosts,
+            vmm,
+            generation: fresh_generation(),
+        }
     }
 
     /// The underlying capacitated graph.
@@ -212,6 +263,14 @@ impl PhysicalTopology {
     /// Total effective CPU across hosts; used by harness sanity checks.
     pub fn total_effective_proc(&self) -> Mips {
         self.hosts.iter().map(|&h| self.effective_proc(h)).sum()
+    }
+
+    /// Cache-invalidation identity (see the field doc). O(1); equal
+    /// generations imply identical topology content, but not vice versa —
+    /// caches that miss on generation should fall back to a content
+    /// fingerprint before rebuilding.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 }
 
@@ -348,6 +407,39 @@ mod tests {
             VmmOverhead::NONE,
         );
         assert_eq!(phys.total_effective_proc(), Mips(8000.0));
+    }
+
+    #[test]
+    fn generation_distinguishes_builds_but_not_clones() {
+        let shape = generators::ring(3);
+        let build = || {
+            PhysicalTopology::from_shape(
+                &shape,
+                std::iter::repeat(uniform_spec()),
+                paper_link(),
+                VmmOverhead::NONE,
+            )
+        };
+        let a = build();
+        let b = build();
+        assert_ne!(a.generation(), b.generation(), "independent builds differ");
+        assert_eq!(a.generation(), a.clone().generation(), "clones share");
+        assert_ne!(a.generation(), 0, "0 is reserved as an unset sentinel");
+    }
+
+    #[test]
+    fn generation_is_fresh_after_deserialization() {
+        let shape = generators::ring(3);
+        let phys = PhysicalTopology::from_shape(
+            &shape,
+            std::iter::repeat(uniform_spec()),
+            paper_link(),
+            VmmOverhead::NONE,
+        );
+        let json = serde_json::to_string(&phys).unwrap();
+        let back: PhysicalTopology = serde_json::from_str(&json).unwrap();
+        assert_ne!(phys.generation(), back.generation());
+        assert_eq!(phys.host_count(), back.host_count());
     }
 
     #[test]

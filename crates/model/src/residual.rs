@@ -20,17 +20,100 @@ use serde::{Deserialize, Serialize};
 /// quantity, not a constraint (§3.2: "We are not considering CPU as a
 /// constraint of our problem"). Memory and storage are hard constraints and
 /// [`ResidualState::place`] refuses to violate them.
+///
+/// Host capacities live in structure-of-arrays columns indexed by *host
+/// slot* (position in [`PhysicalTopology::hosts`] order), not node id, so
+/// candidate filtering in Hosting/Greedy is a linear pass over contiguous
+/// memory. [`ResidualState::fill_feasible`] compresses one such pass into
+/// a [`FeasBitset`]. Switches hold no capacity and have no slot.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ResidualState {
-    /// Residual CPU per node index (switches pinned to 0; may go negative
-    /// on hosts).
+    /// Host node ids in slot order (mirror of `phys.hosts()`).
+    hosts: Vec<NodeId>,
+    /// Node index → host slot; `u32::MAX` marks switches.
+    host_slot: Vec<u32>,
+    /// Residual CPU per host slot (may go negative).
     proc: Vec<f64>,
-    /// Residual memory per node index.
+    /// Residual memory per host slot.
     mem: Vec<u64>,
-    /// Residual storage per node index.
+    /// Residual storage per host slot.
     stor: Vec<f64>,
     /// Residual bandwidth per physical edge index.
     bw: Vec<f64>,
+}
+
+/// A set of host slots as a packed bit vector, filled by
+/// [`ResidualState::fill_feasible`] in one branch-light column pass and
+/// then scanned word-at-a-time by the placement stages.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FeasBitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FeasBitset {
+    /// An empty set; reusable across fills without reallocating.
+    pub fn new() -> Self {
+        FeasBitset::default()
+    }
+
+    /// Number of slots the set ranges over (not the number of set bits).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the set ranges over zero slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clears all bits and resizes to cover `len` slots.
+    pub fn clear_resize(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
+    /// Sets bit `slot`.
+    #[inline]
+    pub fn set(&mut self, slot: usize) {
+        debug_assert!(slot < self.len);
+        self.words[slot / 64] |= 1u64 << (slot % 64);
+    }
+
+    /// Reads bit `slot`.
+    #[inline]
+    pub fn get(&self, slot: usize) -> bool {
+        slot < self.len && self.words[slot / 64] >> (slot % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Lowest set slot, if any — O(words), skipping empty words.
+    pub fn first_one(&self) -> Option<usize> {
+        self.words
+            .iter()
+            .position(|&w| w != 0)
+            .map(|wi| wi * 64 + self.words[wi].trailing_zeros() as usize)
+    }
+
+    /// Iterates set slots in ascending order, skipping zero words.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
 }
 
 /// Why a guest cannot be placed on a host.
@@ -60,21 +143,31 @@ impl ResidualState {
     /// Fresh residuals equal to the *effective* capacities of the topology
     /// (raw capacities minus VMM overhead, §3.1).
     pub fn new(phys: &PhysicalTopology) -> Self {
-        let n = phys.graph().node_count();
-        let mut proc = vec![0.0; n];
-        let mut mem = vec![0u64; n];
-        let mut stor = vec![0.0; n];
-        for &h in phys.hosts() {
-            proc[h.index()] = phys.effective_proc(h).value();
-            mem[h.index()] = phys.effective_mem(h).value();
-            stor[h.index()] = phys.effective_stor(h).value();
+        let hosts: Vec<NodeId> = phys.hosts().to_vec();
+        let mut host_slot = vec![u32::MAX; phys.graph().node_count()];
+        for (slot, &h) in hosts.iter().enumerate() {
+            host_slot[h.index()] = slot as u32;
         }
+        let proc = hosts
+            .iter()
+            .map(|&h| phys.effective_proc(h).value())
+            .collect();
+        let mem = hosts
+            .iter()
+            .map(|&h| phys.effective_mem(h).value())
+            .collect();
+        let stor = hosts
+            .iter()
+            .map(|&h| phys.effective_stor(h).value())
+            .collect();
         let bw = phys
             .graph()
             .edge_ids()
             .map(|e| phys.link(e).bw.value())
             .collect();
         ResidualState {
+            hosts,
+            host_slot,
             proc,
             mem,
             stor,
@@ -82,22 +175,58 @@ impl ResidualState {
         }
     }
 
+    /// The host slot of a node, or `None` for switches.
+    #[inline]
+    pub fn slot_of(&self, node: NodeId) -> Option<usize> {
+        match self.host_slot.get(node.index()) {
+            Some(&s) if s != u32::MAX => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// The node id occupying a host slot.
+    #[inline]
+    pub fn host_at(&self, slot: usize) -> NodeId {
+        self.hosts[slot]
+    }
+
+    /// Host node ids in slot order (mirrors `phys.hosts()`).
+    pub fn host_nodes(&self) -> &[NodeId] {
+        &self.hosts
+    }
+
+    /// Residual CPU column, one entry per host slot.
+    pub fn proc_column(&self) -> &[f64] {
+        &self.proc
+    }
+
+    /// Residual memory column, one entry per host slot.
+    pub fn mem_column(&self) -> &[u64] {
+        &self.mem
+    }
+
+    /// Residual storage column, one entry per host slot.
+    pub fn stor_column(&self) -> &[f64] {
+        &self.stor
+    }
+
     /// Residual CPU of a node (negative = oversubscribed, which is legal).
+    /// Switches report zero.
     #[inline]
     pub fn proc(&self, node: NodeId) -> Mips {
-        Mips(self.proc[node.index()])
+        Mips(self.slot_of(node).map_or(0.0, |s| self.proc[s]))
     }
 
-    /// Residual memory of a node.
+    /// Residual memory of a node. Switches report zero.
     #[inline]
     pub fn mem(&self, node: NodeId) -> MemMb {
-        MemMb(self.mem[node.index()])
+        MemMb(self.slot_of(node).map_or(0, |s| self.mem[s]))
     }
 
-    /// Residual storage of a node.
+    /// Residual storage of a node. Switches report zero.
     #[inline]
     pub fn stor(&self, node: NodeId) -> StorGb {
-        StorGb(self.stor[node.index()])
+        StorGb(self.slot_of(node).map_or(0.0, |s| self.stor[s]))
     }
 
     /// Residual bandwidth of a physical edge.
@@ -114,15 +243,39 @@ impl ResidualState {
 
     /// Like [`fits`](Self::fits) but says why not.
     pub fn check_fit(&self, guest: &GuestSpec, host: NodeId) -> Result<(), PlaceError> {
-        if self.mem[host.index()] < guest.mem.value() {
-            // A switch has zero capacity, so this also rejects switches —
-            // but distinguish the reason for callers/diagnostics.
+        // A switch has zero capacity, so this also rejects switches —
+        // but distinguish the reason for callers/diagnostics.
+        let (mem, stor) = match self.slot_of(host) {
+            Some(s) => (self.mem[s], self.stor[s]),
+            None => (0, 0.0),
+        };
+        if mem < guest.mem.value() {
             return Err(PlaceError::InsufficientMemory);
         }
-        if self.stor[host.index()] < guest.stor.value() {
+        if stor < guest.stor.value() {
             return Err(PlaceError::InsufficientStorage);
         }
         Ok(())
+    }
+
+    /// Marks every host slot where `guest` respects the hard constraints
+    /// (Eqs. 2–3) in one branch-light pass over the capacity columns.
+    /// `out` is cleared and resized to the host count first.
+    pub fn fill_feasible(&self, guest: &GuestSpec, out: &mut FeasBitset) {
+        out.clear_resize(self.hosts.len());
+        let gm = guest.mem.value();
+        let gs = guest.stor.value();
+        let mut word = 0u64;
+        for (slot, (&m, &s)) in self.mem.iter().zip(&self.stor).enumerate() {
+            word |= u64::from(m >= gm && s >= gs) << (slot % 64);
+            if slot % 64 == 63 {
+                out.words[slot / 64] = word;
+                word = 0;
+            }
+        }
+        if !self.hosts.len().is_multiple_of(64) {
+            out.words[self.hosts.len() / 64] = word;
+        }
     }
 
     /// Commits `guest` onto `host`, updating residuals.
@@ -139,9 +292,10 @@ impl ResidualState {
             return Err(PlaceError::NotAHost);
         }
         self.check_fit(guest, host)?;
-        self.proc[host.index()] -= guest.proc.value();
-        self.mem[host.index()] -= guest.mem.value();
-        self.stor[host.index()] -= guest.stor.value();
+        let s = self.slot_of(host).expect("hosts always have a slot");
+        self.proc[s] -= guest.proc.value();
+        self.mem[s] -= guest.mem.value();
+        self.stor[s] -= guest.stor.value();
         Ok(())
     }
 
@@ -152,9 +306,12 @@ impl ResidualState {
     /// validation layer rather than tracked here (the mappers own the
     /// assignment tables).
     pub fn remove(&mut self, guest: &GuestSpec, host: NodeId) {
-        self.proc[host.index()] += guest.proc.value();
-        self.mem[host.index()] += guest.mem.value();
-        self.stor[host.index()] += guest.stor.value();
+        let s = self
+            .slot_of(host)
+            .expect("remove targets a host that received a place");
+        self.proc[s] += guest.proc.value();
+        self.mem[s] += guest.mem.value();
+        self.stor[s] += guest.stor.value();
     }
 
     /// `true` if every edge of `route` has at least `demand` residual
@@ -189,17 +346,20 @@ impl ResidualState {
     /// Residual CPU of every *host* of `phys`, in host order — the
     /// `rproc(c_i)` vector the objective function consumes (Eq. 11).
     pub fn host_proc_residuals(&self, phys: &PhysicalTopology) -> Vec<f64> {
-        phys.hosts().iter().map(|&h| self.proc[h.index()]).collect()
+        debug_assert_eq!(phys.host_count(), self.hosts.len());
+        self.proc.clone()
     }
 
     /// Allocation-free variant of
     /// [`host_proc_residuals`](Self::host_proc_residuals): fills `out`
-    /// (cleared first) with the host-order residual CPU vector. The search
-    /// loops refresh their objective accumulator through a reused scratch
-    /// buffer via this.
+    /// (cleared first) with the host-order residual CPU vector — now a
+    /// single contiguous copy of the CPU column. The search loops refresh
+    /// their objective accumulator through a reused scratch buffer via
+    /// this.
     pub fn host_proc_residuals_into(&self, phys: &PhysicalTopology, out: &mut Vec<f64>) {
+        debug_assert_eq!(phys.host_count(), self.hosts.len());
         out.clear();
-        out.extend(phys.hosts().iter().map(|&h| self.proc[h.index()]));
+        out.extend_from_slice(&self.proc);
     }
 }
 
@@ -315,6 +475,85 @@ mod tests {
         let mut r = ResidualState::new(&p);
         r.place(&p, &guest(250.0, 1, 1.0), p.hosts()[1]).unwrap();
         assert_eq!(r.host_proc_residuals(&p), vec![1000.0, 750.0, 1000.0]);
+    }
+
+    #[test]
+    fn columns_track_place_and_remove_in_host_order() {
+        let p = phys();
+        let mut r = ResidualState::new(&p);
+        let g = guest(100.0, 256, 10.0);
+        r.place(&p, &g, p.hosts()[1]).unwrap();
+        assert_eq!(r.proc_column(), &[1000.0, 900.0, 1000.0]);
+        assert_eq!(r.mem_column(), &[1024, 768, 1024]);
+        assert_eq!(r.stor_column(), &[100.0, 90.0, 100.0]);
+        assert_eq!(r.host_nodes(), p.hosts());
+        for (slot, &h) in p.hosts().iter().enumerate() {
+            assert_eq!(r.slot_of(h), Some(slot));
+            assert_eq!(r.host_at(slot), h);
+        }
+        r.remove(&g, p.hosts()[1]);
+        assert_eq!(r.proc_column(), &[1000.0, 1000.0, 1000.0]);
+    }
+
+    #[test]
+    fn fill_feasible_agrees_with_fits() {
+        let p = phys();
+        let mut r = ResidualState::new(&p);
+        // Fill host 0's memory and host 2's storage so the bitset has
+        // holes to find.
+        r.place(&p, &guest(0.0, 1024, 1.0), p.hosts()[0]).unwrap();
+        r.place(&p, &guest(0.0, 1, 100.0), p.hosts()[2]).unwrap();
+        let g = guest(10.0, 512, 50.0);
+        let mut bits = FeasBitset::new();
+        r.fill_feasible(&g, &mut bits);
+        assert_eq!(bits.len(), p.host_count());
+        for (slot, &h) in p.hosts().iter().enumerate() {
+            assert_eq!(bits.get(slot), r.fits(&g, h), "slot {slot}");
+        }
+        assert_eq!(bits.count(), 1);
+        assert_eq!(bits.first_one(), Some(1));
+        assert_eq!(bits.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn bitset_handles_multi_word_ranges() {
+        let mut bits = FeasBitset::new();
+        bits.clear_resize(130);
+        for slot in [0, 63, 64, 100, 129] {
+            bits.set(slot);
+        }
+        assert_eq!(bits.count(), 5);
+        assert_eq!(bits.first_one(), Some(0));
+        assert_eq!(
+            bits.iter_ones().collect::<Vec<_>>(),
+            vec![0, 63, 64, 100, 129]
+        );
+        assert!(!bits.get(65));
+        assert!(!bits.get(500), "out-of-range reads are false, not panics");
+        bits.clear_resize(10);
+        assert_eq!(bits.count(), 0, "clear_resize zeroes previous bits");
+    }
+
+    #[test]
+    fn switches_have_no_slot_and_zero_capacity() {
+        let shape = generators::switched_cascade(2, 4);
+        let p = PhysicalTopology::from_shape(
+            &shape,
+            std::iter::repeat(HostSpec::new(Mips(1000.0), MemMb(1024), StorGb(100.0))),
+            LinkSpec::new(Kbps(500.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let switch = p
+            .graph()
+            .nodes()
+            .find(|(_, n)| !n.is_host())
+            .map(|(id, _)| id)
+            .unwrap();
+        let r = ResidualState::new(&p);
+        assert_eq!(r.slot_of(switch), None);
+        assert_eq!(r.proc(switch), Mips(0.0));
+        assert_eq!(r.mem(switch), MemMb(0));
+        assert_eq!(r.stor(switch), StorGb(0.0));
     }
 
     #[test]

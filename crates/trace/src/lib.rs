@@ -87,6 +87,13 @@ pub struct PhaseCounters {
     pub exact_nodes_expanded: u64,
     /// Exact: subtrees pruned (bound, capacity, or latency).
     pub exact_nodes_pruned: u64,
+    /// Migration (parallel tempering): temperature-exchange attempts
+    /// between adjacent replicas at round checkpoints. Deterministic —
+    /// a pure function of the ladder size and round count.
+    pub replica_exchanges: u64,
+    /// Migration (parallel tempering): exchange attempts accepted by the
+    /// Metropolis criterion. Deterministic — the swap RNG is seeded.
+    pub exchange_accepts: u64,
 }
 
 impl PhaseCounters {

@@ -17,7 +17,12 @@ file this asserts the structural contract CI relies on:
     every evaluated proposal performs at least one incremental probe, so
     delta_evaluations >= proposals_evaluated (the annealer probes twice
     per proposal when its bandwidth term is on; the Migration stage
-    exactly once).
+    exactly once);
+  * a parallel-tempering trace (MapStart mapper "PT") satisfies the
+    exchange invariant: its Migration PhaseEnd reports
+    replica_exchanges > 0 (a multi-replica run that never attempts an
+    exchange is plain multi-start, not tempering) and
+    exchange_accepts <= replica_exchanges.
 
 Exits non-zero with one line per violation, so a CI failure names the file
 and line.
@@ -69,6 +74,7 @@ def check_file(path: pathlib.Path) -> list[str]:
     if events[-1][1] != "MapEnd":
         errors.append(f"{path}:{events[-1][0]}: stream must close with MapEnd")
 
+    mapper = events[0][2].get("mapper") if events[0][1] == "MapStart" else None
     open_phase = None
     last_phase_index = -1
     for i, tag, body in events:
@@ -106,6 +112,18 @@ def check_file(path: pathlib.Path) -> list[str]:
                         f"{path}:{i}: delta_evaluations {deltas} < "
                         f"proposals_evaluated {proposals} (each evaluated "
                         "proposal must use at least one incremental probe)"
+                    )
+                exchanges = counters.get("replica_exchanges", 0)
+                accepts = counters.get("exchange_accepts", 0)
+                if accepts > exchanges:
+                    errors.append(
+                        f"{path}:{i}: exchange_accepts {accepts} > "
+                        f"replica_exchanges {exchanges}"
+                    )
+                if mapper == "PT" and exchanges == 0:
+                    errors.append(
+                        f"{path}:{i}: PT trace attempted no replica "
+                        "exchanges (multi-start, not tempering)"
                     )
     if open_phase is not None:
         errors.append(f"{path}: phase {open_phase} never closed")
