@@ -29,6 +29,11 @@ impl std::fmt::Display for ArgError {
 
 impl std::error::Error for ArgError {}
 
+/// Flags that take no value: presence alone means `true`. Everything
+/// else keeps the strict `--key value` grammar (and its `MissingValue`
+/// diagnostics).
+const BOOLEAN_FLAGS: &[&str] = &["quiet"];
+
 /// A parsed command line: subcommand plus `--key value` pairs.
 #[derive(Clone, Debug, Default)]
 pub struct Parsed {
@@ -52,9 +57,12 @@ impl Parsed {
             };
             // `-o` style shorthand: we normalize `--o` too; only `-o` is
             // special-cased below for ergonomics.
-            let value = iter
-                .next()
-                .ok_or_else(|| ArgError::MissingValue(tok.clone()))?;
+            let value = if BOOLEAN_FLAGS.contains(&key) {
+                "true".to_string()
+            } else {
+                iter.next()
+                    .ok_or_else(|| ArgError::MissingValue(tok.clone()))?
+            };
             if flags.insert(key.to_string(), value).is_some() {
                 return Err(ArgError::Duplicate(tok));
             }
@@ -94,6 +102,15 @@ impl Parsed {
                 .parse()
                 .map_err(|_| format!("flag --{key}: cannot parse '{v}'")),
         }
+    }
+
+    /// `true` iff a boolean flag (see [`BOOLEAN_FLAGS`]) was given.
+    pub fn flag(&self, key: &str) -> bool {
+        debug_assert!(
+            BOOLEAN_FLAGS.contains(&key),
+            "--{key} is not registered as a boolean flag"
+        );
+        self.flags.contains_key(key)
     }
 
     /// Every flag key, for unknown-flag diagnostics.
@@ -139,6 +156,23 @@ mod tests {
         assert!(matches!(
             parse(&["map", "--a", "1", "--a", "2"]),
             Err(ArgError::Duplicate(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let p = parse(&["batch", "--quiet", "--reps", "3"]).unwrap();
+        assert!(p.flag("quiet"));
+        assert_eq!(p.parse_or("reps", 0u32).unwrap(), 3);
+        let p = parse(&["batch", "--reps", "3"]).unwrap();
+        assert!(!p.flag("quiet"));
+        // Trailing boolean flag needs no value either.
+        let p = parse(&["batch", "--quiet"]).unwrap();
+        assert!(p.flag("quiet"));
+        // Non-boolean flags keep their strict grammar.
+        assert!(matches!(
+            parse(&["map", "--phys"]),
+            Err(ArgError::MissingValue(_))
         ));
     }
 

@@ -77,6 +77,7 @@ subcommands:
   batch --phys phys.json --venv venv.json
       [--mapper NAME[,NAME..]|all] [--reps N] [--seed S] [--threads T]
       [--attempts A] [-o trials.json] [--trace-dir DIR] [--exact-check G]
+      [--quiet]
       run repeated mapping trials across a worker pool (per-worker warm
       caches; deterministic at any thread count) and print per-mapper
       success rates, mean objective and mean mapping time; --trace-dir
@@ -84,7 +85,18 @@ subcommands:
       --exact-check G cross-checks every successful trial against the
       exact oracle when the instance has at most G guests (an invalid
       mapping, a refuted infeasibility or an objective below the
-      certified lower bound fails the run)
+      certified lower bound fails the run); the stderr progress line is
+      suppressed by --quiet or when stderr is not a tty
+  serve --phys phys.json
+      [--mapper hmn|sa|pt|...] [--seed S] [--attempts A]
+      [--socket path.sock] [--trace events.jsonl]
+      long-lived embedding daemon: one JSONL request per line on stdin
+      (or on a Unix socket), one response per line on stdout; holds
+      residual cluster state across apply/remove/status/save/restore
+      requests and embeds arrivals against residual capacities with one
+      warm cache; responses carry no volatile fields, so equal request
+      streams and seeds yield byte-identical response streams; shutdown
+      with {\"shutdown\":{}}
   inspect --phys phys.json [--venv venv.json] [--mapping mapping.json]
       [--dot out.dot]
       summarize a topology / environment / mapping; optionally export the
@@ -92,13 +104,13 @@ subcommands:
   help
       print this text";
 
-fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
+pub(crate) fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
     let data =
         std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("reading {path}: {e}")))?;
     serde_json::from_str(&data).map_err(|e| CliError::Io(format!("parsing {path}: {e}")))
 }
 
-fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
+pub(crate) fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError> {
     if let Some(parent) = Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)
@@ -110,7 +122,7 @@ fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(), CliError
     std::fs::write(path, json).map_err(|e| CliError::Io(format!("writing {path}: {e}")))
 }
 
-fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError> {
+pub(crate) fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError> {
     Ok(match name {
         "hmn" => Box::new(Hmn::new()),
         "r" => Box::new(RandomDfs {
@@ -160,6 +172,7 @@ pub fn run(parsed: &Parsed) -> Result<Vec<String>, CliError> {
         "validate" => validate_cmd(parsed),
         "simulate" => simulate_cmd(parsed),
         "batch" => batch_cmd(parsed),
+        "serve" => crate::serve::serve_cmd(parsed),
         "inspect" => inspect_cmd(parsed),
         "help" | "-h" | "--help" => Ok(vec![USAGE.to_string()]),
         other => Err(CliError::Usage(format!("unknown subcommand '{other}'"))),
@@ -536,6 +549,9 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     let started = std::time::Instant::now();
     // Periodic progress to stderr (stdout carries the deterministic
     // report): every ~10% of trials, whichever worker crosses the line.
+    // Suppressed by --quiet and whenever stderr is not a tty (CI logs,
+    // pipes) so captured output stays clean.
+    let progress = !p.flag("quiet") && std::io::IsTerminal::is_terminal(&std::io::stderr());
     let total_trials = work.len();
     let progress_every = (total_trials / 10).max(1);
     let done = std::sync::atomic::AtomicUsize::new(0);
@@ -558,7 +574,7 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
             let _ = sink.flush();
         }
         let finished = done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
-        if finished.is_multiple_of(progress_every) || finished == total_trials {
+        if progress && (finished.is_multiple_of(progress_every) || finished == total_trials) {
             eprintln!(
                 "batch progress  : {finished}/{total_trials} trials done, {:.1}s elapsed",
                 started.elapsed().as_secs_f64()

@@ -19,6 +19,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 pub use args::{ArgError, Parsed};
 pub use commands::{run, CliError};

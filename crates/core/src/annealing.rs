@@ -119,6 +119,13 @@ impl Mapper for Annealing {
             let h = match hosting_stage(&mut state, &links) {
                 Ok(h) => h,
                 Err(e) => {
+                    // Close the open phase even on failure: trace
+                    // consumers rely on bracketed PhaseStart/PhaseEnd.
+                    cache.trace.emit(|| TraceEvent::PhaseEnd {
+                        phase: Phase::Hosting,
+                        elapsed_us: crate::hmn::elapsed_us(t_place),
+                        counters: PhaseCounters::default(),
+                    });
                     cache.trace.emit(|| TraceEvent::MapEnd {
                         ok: false,
                         objective: None,
@@ -136,6 +143,11 @@ impl Mapper for Annealing {
                 fitting.clear();
                 fitting.extend(hosts.iter().copied().filter(|&h| state.fits(g, h)));
                 if fitting.is_empty() {
+                    cache.trace.emit(|| TraceEvent::PhaseEnd {
+                        phase: Phase::Hosting,
+                        elapsed_us: crate::hmn::elapsed_us(t_place),
+                        counters: PhaseCounters::default(),
+                    });
                     cache.trace.emit(|| TraceEvent::MapEnd {
                         ok: false,
                         objective: None,
@@ -288,6 +300,11 @@ impl Mapper for Annealing {
         let (routes, net) = match networking_stage_with(&mut state, &links, &cfg.astar, cache) {
             Ok(r) => r,
             Err(e) => {
+                cache.trace.emit(|| TraceEvent::PhaseEnd {
+                    phase: Phase::Networking,
+                    elapsed_us: crate::hmn::elapsed_us(t_route),
+                    counters: PhaseCounters::default(),
+                });
                 cache.trace.emit(|| TraceEvent::MapEnd {
                     ok: false,
                     objective: None,

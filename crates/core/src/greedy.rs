@@ -127,6 +127,13 @@ fn run_greedy_with(
         phase: Phase::Hosting,
     });
     if let Err(e) = place_greedy(&mut state, rule) {
+        // Close the open phase even on failure: trace consumers rely on
+        // PhaseStart/PhaseEnd always being bracketed.
+        cache.trace.emit(|| TraceEvent::PhaseEnd {
+            phase: Phase::Hosting,
+            elapsed_us: crate::hmn::elapsed_us(t),
+            counters: PhaseCounters::default(),
+        });
         cache.trace.emit(|| TraceEvent::MapEnd {
             ok: false,
             objective: None,
@@ -148,6 +155,11 @@ fn run_greedy_with(
     let (routes, net) = match networking_stage_with(&mut state, &links, astar, cache) {
         Ok(r) => r,
         Err(e) => {
+            cache.trace.emit(|| TraceEvent::PhaseEnd {
+                phase: Phase::Networking,
+                elapsed_us: crate::hmn::elapsed_us(t),
+                counters: PhaseCounters::default(),
+            });
             cache.trace.emit(|| TraceEvent::MapEnd {
                 ok: false,
                 objective: None,

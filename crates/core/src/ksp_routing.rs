@@ -178,6 +178,13 @@ impl Mapper for HmnKsp {
         let hosting = match hosting_stage(&mut state, &links) {
             Ok(h) => h,
             Err(e) => {
+                // Close the open phase even on failure: trace consumers
+                // rely on PhaseStart/PhaseEnd always being bracketed.
+                cache.trace.emit(|| TraceEvent::PhaseEnd {
+                    phase: Phase::Hosting,
+                    elapsed_us: crate::hmn::elapsed_us(t),
+                    counters: PhaseCounters::default(),
+                });
                 cache.trace.emit(|| TraceEvent::MapEnd {
                     ok: false,
                     objective: None,
@@ -218,6 +225,11 @@ impl Mapper for HmnKsp {
         let (routes, net) = match networking_stage_ksp_with(&mut state, &links, self.k, cache) {
             Ok(r) => r,
             Err(e) => {
+                cache.trace.emit(|| TraceEvent::PhaseEnd {
+                    phase: Phase::Networking,
+                    elapsed_us: crate::hmn::elapsed_us(t),
+                    counters: PhaseCounters::default(),
+                });
                 cache.trace.emit(|| TraceEvent::MapEnd {
                     ok: false,
                     objective: None,

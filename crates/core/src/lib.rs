@@ -71,6 +71,7 @@ pub mod networking;
 pub mod parallel;
 mod pool;
 mod random;
+pub mod serve;
 mod state;
 pub mod tempering;
 
@@ -104,5 +105,9 @@ pub use networking::{networking_stage, networking_stage_with, NetworkingStats};
 pub use parallel::{ParallelRunner, PhaseTotals};
 pub use pool::{HeuristicPool, PoolPolicy};
 pub use random::{HostingDfs, RandomAStar, RandomDfs, DEFAULT_MAX_ATTEMPTS};
+pub use serve::{
+    AdmitReport, ApplyOutcome, RemoveReport, ServeError, Session, Snapshot, StatusReport,
+    TenantRecord, SNAPSHOT_VERSION,
+};
 pub use state::PlacementState;
 pub use tempering::{ParallelTempering, TemperingConfig};

@@ -383,6 +383,13 @@ impl Mapper for HostingDfs {
         let hosting = match hosting_stage(&mut state, &links) {
             Ok(h) => h,
             Err(e) => {
+                // Close the open phase even on failure: trace consumers
+                // rely on PhaseStart/PhaseEnd always being bracketed.
+                cache.trace.emit(|| TraceEvent::PhaseEnd {
+                    phase: Phase::Hosting,
+                    elapsed_us: crate::hmn::elapsed_us(t_place),
+                    counters: PhaseCounters::default(),
+                });
                 cache.trace.emit(|| TraceEvent::MapEnd {
                     ok: false,
                     objective: None,

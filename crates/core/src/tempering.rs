@@ -226,6 +226,13 @@ impl Mapper for ParallelTempering {
             let h = match hosting_stage(&mut state, &links) {
                 Ok(h) => h,
                 Err(e) => {
+                    // Close the open phase even on failure: trace
+                    // consumers rely on bracketed PhaseStart/PhaseEnd.
+                    cache.trace.emit(|| TraceEvent::PhaseEnd {
+                        phase: Phase::Hosting,
+                        elapsed_us: crate::hmn::elapsed_us(t_place),
+                        counters: PhaseCounters::default(),
+                    });
                     cache.trace.emit(|| TraceEvent::MapEnd {
                         ok: false,
                         objective: None,
@@ -425,6 +432,11 @@ impl Mapper for ParallelTempering {
         let (routes, net) = match networking_stage_with(&mut state, &links, &cfg.astar, cache) {
             Ok(r) => r,
             Err(e) => {
+                cache.trace.emit(|| TraceEvent::PhaseEnd {
+                    phase: Phase::Networking,
+                    elapsed_us: crate::hmn::elapsed_us(t_route),
+                    counters: PhaseCounters::default(),
+                });
                 cache.trace.emit(|| TraceEvent::MapEnd {
                     ok: false,
                     objective: None,

@@ -4,7 +4,7 @@ use crate::{EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// One stored edge: its two endpoints and its payload.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 struct EdgeSlot<E> {
     a: NodeId,
     b: NodeId,
@@ -97,7 +97,7 @@ impl CsrAdjacency {
 /// * Removal is not supported: the mapping workloads only ever *build*
 ///   topologies, and append-only storage keeps ids dense so algorithm
 ///   side-tables can be flat `Vec`s.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Graph<N, E> {
     nodes: Vec<N>,
     edges: Vec<EdgeSlot<E>>,

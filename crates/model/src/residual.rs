@@ -8,9 +8,10 @@
 //! single source of truth the mappers consult for feasibility (Eqs. 2, 3, 9)
 //! and for the objective's residual-CPU inputs (Eq. 11).
 
+use crate::mapping::Mapping;
 use crate::physical::PhysicalTopology;
 use crate::resources::{Kbps, MemMb, Mips, StorGb};
-use crate::virtualenv::GuestSpec;
+use crate::virtualenv::{GuestId, GuestSpec, VLinkId, VirtualEnvironment};
 use emumap_graph::{EdgeId, NodeId};
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +27,7 @@ use serde::{Deserialize, Serialize};
 /// candidate filtering in Hosting/Greedy is a linear pass over contiguous
 /// memory. [`ResidualState::fill_feasible`] compresses one such pass into
 /// a [`FeasBitset`]. Switches hold no capacity and have no slot.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ResidualState {
     /// Host node ids in slot order (mirror of `phys.hosts()`).
     hosts: Vec<NodeId>,
@@ -40,6 +41,16 @@ pub struct ResidualState {
     stor: Vec<f64>,
     /// Residual bandwidth per physical edge index.
     bw: Vec<f64>,
+}
+
+/// Scale-aware tolerance for the f64 hard-constraint re-checks in
+/// [`ResidualState::apply_mapping`]: partial sums of storage/bandwidth
+/// deductions reassociate by ulps when tenants replay in a different
+/// order, so an exact-boundary fit admitted once must not be refused on
+/// rebuild. Memory needs no slack — it is integer arithmetic.
+#[inline]
+fn float_slack(demand: f64) -> f64 {
+    1e-9 * (1.0 + demand.abs())
 }
 
 /// A set of host slots as a packed bit vector, filled by
@@ -125,6 +136,10 @@ pub enum PlaceError {
     InsufficientMemory,
     /// Eq. 3 would be violated.
     InsufficientStorage,
+    /// Eq. 9 would be violated on some edge of a committed route
+    /// (reported by the whole-mapping [`ResidualState::apply_mapping`]
+    /// path, never by single-guest placement).
+    InsufficientBandwidth,
 }
 
 impl std::fmt::Display for PlaceError {
@@ -133,6 +148,7 @@ impl std::fmt::Display for PlaceError {
             PlaceError::NotAHost => write!(f, "target node is a switch, not a host"),
             PlaceError::InsufficientMemory => write!(f, "insufficient residual memory"),
             PlaceError::InsufficientStorage => write!(f, "insufficient residual storage"),
+            PlaceError::InsufficientBandwidth => write!(f, "insufficient residual bandwidth"),
         }
     }
 }
@@ -341,6 +357,138 @@ impl ResidualState {
         for e in route {
             self.bw[e.index()] += demand.value();
         }
+    }
+
+    /// Commits an entire admitted mapping — every guest placement plus
+    /// every routed link — against these residuals, in canonical order
+    /// (guest index order, then link index order).
+    ///
+    /// The hard constraints are re-checked as the deductions happen:
+    /// memory exactly (integer arithmetic is order-independent), storage
+    /// and bandwidth with a scale-aware float slack so a mapping admitted
+    /// against bit-equal residuals can never be spuriously refused when
+    /// replayed in a different tenant order (f64 partial sums reassociate
+    /// by ulps). CPU is never checked (§3.2).
+    ///
+    /// On `Err` the state is **partially applied** — callers that need
+    /// atomicity apply to a scratch clone (as
+    /// [`rebuilt`](Self::rebuilt) does) and discard it on failure.
+    pub fn apply_mapping(
+        &mut self,
+        venv: &VirtualEnvironment,
+        mapping: &Mapping,
+    ) -> Result<(), PlaceError> {
+        debug_assert_eq!(venv.guest_count(), mapping.guest_count());
+        for (idx, &host) in mapping.placement().iter().enumerate() {
+            let guest = venv.guest(GuestId::from_index(idx));
+            let s = self.slot_of(host).ok_or(PlaceError::NotAHost)?;
+            if self.mem[s] < guest.mem.value() {
+                return Err(PlaceError::InsufficientMemory);
+            }
+            let gs = guest.stor.value();
+            if self.stor[s] - gs < -float_slack(gs) {
+                return Err(PlaceError::InsufficientStorage);
+            }
+            self.proc[s] -= guest.proc.value();
+            self.mem[s] -= guest.mem.value();
+            self.stor[s] -= gs;
+        }
+        for (idx, route) in mapping.routes().iter().enumerate() {
+            let demand = venv.link(VLinkId::from_index(idx)).bw.value();
+            for e in route.edges() {
+                if self.bw[e.index()] - demand < -float_slack(demand) {
+                    return Err(PlaceError::InsufficientBandwidth);
+                }
+                self.bw[e.index()] -= demand;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns an entire mapping's resources — the exact reverse of
+    /// [`apply_mapping`](Self::apply_mapping), in the same canonical
+    /// order. The caller is responsible for only releasing mappings it
+    /// actually applied; the serve layer debug-asserts the result against
+    /// a from-scratch rebuild (see [`divergence`](Self::divergence)).
+    pub fn release_mapping(&mut self, venv: &VirtualEnvironment, mapping: &Mapping) {
+        debug_assert_eq!(venv.guest_count(), mapping.guest_count());
+        for (idx, &host) in mapping.placement().iter().enumerate() {
+            let guest = venv.guest(GuestId::from_index(idx));
+            let s = self
+                .slot_of(host)
+                .expect("release targets a host that received an apply");
+            self.proc[s] += guest.proc.value();
+            self.mem[s] += guest.mem.value();
+            self.stor[s] += guest.stor.value();
+        }
+        for (idx, route) in mapping.routes().iter().enumerate() {
+            let demand = venv.link(VLinkId::from_index(idx)).bw.value();
+            for e in route.edges() {
+                self.bw[e.index()] += demand;
+            }
+        }
+    }
+
+    /// From-scratch canonical rebuild: fresh residuals over `phys` with
+    /// every surviving `(venv, mapping)` pair applied in iteration order.
+    /// This is the reference state the incremental bookkeeping must
+    /// reconcile against — and what the serve session adopts after every
+    /// mutation so its residuals are *bitwise* a pure function of the
+    /// surviving tenant set. Atomic: on `Err` nothing is returned and no
+    /// existing state was touched.
+    pub fn rebuilt<'t, I>(phys: &PhysicalTopology, tenants: I) -> Result<ResidualState, PlaceError>
+    where
+        I: IntoIterator<Item = (&'t VirtualEnvironment, &'t Mapping)>,
+    {
+        let mut state = ResidualState::new(phys);
+        for (venv, mapping) in tenants {
+            state.apply_mapping(venv, mapping)?;
+        }
+        Ok(state)
+    }
+
+    /// Largest absolute per-entry difference between two residual states
+    /// across all four columns (CPU, memory, storage, bandwidth) — the
+    /// reconciliation metric. Zero iff the states agree bit-for-bit on
+    /// every finite entry; incremental apply/release drift shows up as a
+    /// small positive value bounded by [`drift_tolerance`](Self::
+    /// drift_tolerance).
+    ///
+    /// # Panics
+    /// Panics if the states cover different topologies (column lengths
+    /// differ) — comparing residuals of different clusters is a bug.
+    pub fn divergence(&self, other: &ResidualState) -> f64 {
+        assert_eq!(self.hosts, other.hosts, "residuals of different clusters");
+        assert_eq!(self.bw.len(), other.bw.len());
+        let mut worst = 0.0f64;
+        for (a, b) in self.proc.iter().zip(&other.proc) {
+            worst = worst.max((a - b).abs());
+        }
+        for (a, b) in self.mem.iter().zip(&other.mem) {
+            worst = worst.max(a.abs_diff(*b) as f64);
+        }
+        for (a, b) in self.stor.iter().zip(&other.stor) {
+            worst = worst.max((a - b).abs());
+        }
+        for (a, b) in self.bw.iter().zip(&other.bw) {
+            worst = worst.max((a - b).abs());
+        }
+        worst
+    }
+
+    /// Scale-aware bound on the [`divergence`](Self::divergence) an
+    /// incremental apply/release history may legitimately accumulate
+    /// against a from-scratch rebuild: f64 additions reassociate at the
+    /// ulp scale of the largest column magnitude. Mirrors the objective
+    /// accumulator's `1e-9 * (1 + scale)` drift budget.
+    pub fn drift_tolerance(&self) -> f64 {
+        let scale = self
+            .proc
+            .iter()
+            .chain(&self.stor)
+            .chain(&self.bw)
+            .fold(0.0f64, |m, v| m.max(v.abs()));
+        1e-9 * (1.0 + scale)
     }
 
     /// Residual CPU of every *host* of `phys`, in host order — the
@@ -576,5 +724,102 @@ mod tests {
             r.place(&p, &guest(1.0, 1, 1.0), switch),
             Err(PlaceError::NotAHost)
         );
+    }
+
+    /// Two guests linked over bandwidth 200, mapped onto hosts 0 and 2 of
+    /// the 3-host line (route spans both physical edges).
+    fn tenant(p: &PhysicalTopology) -> (VirtualEnvironment, Mapping) {
+        use crate::mapping::Route;
+        use crate::virtualenv::VLinkSpec;
+        let mut venv = VirtualEnvironment::new();
+        let a = venv.add_guest(guest(100.0, 256, 10.0));
+        let b = venv.add_guest(guest(50.0, 128, 5.0));
+        venv.add_link(a, b, VLinkSpec::new(Kbps(200.0), Millis(30.0)));
+        let edges: Vec<EdgeId> = p.graph().edge_ids().collect();
+        let mapping = Mapping::new(
+            vec![p.hosts()[0], p.hosts()[2]],
+            vec![Route::new(edges.clone())],
+        );
+        (venv, mapping)
+    }
+
+    #[test]
+    fn apply_release_mapping_roundtrips_bitwise() {
+        let p = phys();
+        let fresh = ResidualState::new(&p);
+        let (venv, mapping) = tenant(&p);
+        let mut r = fresh.clone();
+        r.apply_mapping(&venv, &mapping).unwrap();
+        assert_eq!(r.proc(p.hosts()[0]), Mips(900.0));
+        assert_eq!(r.mem(p.hosts()[2]), MemMb(896));
+        for e in p.graph().edge_ids() {
+            assert_eq!(r.bw(e), Kbps(300.0));
+        }
+        r.release_mapping(&venv, &mapping);
+        assert_eq!(r, fresh, "release must undo apply bit-for-bit");
+        assert_eq!(r.divergence(&fresh), 0.0);
+    }
+
+    #[test]
+    fn rebuilt_matches_incremental_apply() {
+        let p = phys();
+        let (venv, mapping) = tenant(&p);
+        let mut incremental = ResidualState::new(&p);
+        incremental.apply_mapping(&venv, &mapping).unwrap();
+        let rebuilt = ResidualState::rebuilt(&p, [(&venv, &mapping)]).unwrap();
+        assert_eq!(rebuilt, incremental);
+        assert!(incremental.divergence(&rebuilt) <= incremental.drift_tolerance());
+    }
+
+    #[test]
+    fn divergence_reports_the_largest_leak() {
+        let p = phys();
+        let base = ResidualState::new(&p);
+        let mut leaked = base.clone();
+        let g = guest(0.25, 3, 0.0);
+        leaked.place(&p, &g, p.hosts()[1]).unwrap();
+        // Memory leak (3) dominates the CPU leak (0.25).
+        assert_eq!(base.divergence(&leaked), 3.0);
+        assert!(base.divergence(&leaked) > base.drift_tolerance());
+    }
+
+    #[test]
+    fn apply_mapping_enforces_memory_and_bandwidth() {
+        let p = phys();
+        let (venv, mapping) = tenant(&p);
+        // A tenant that already consumed all of host 0's memory forces the
+        // strict integer check to fire.
+        let mut r = ResidualState::new(&p);
+        r.place(&p, &guest(0.0, 1024, 1.0), p.hosts()[0]).unwrap();
+        assert_eq!(
+            r.apply_mapping(&venv, &mapping),
+            Err(PlaceError::InsufficientMemory)
+        );
+        // Draining an edge below the link demand trips the Eq. 9 re-check.
+        let mut r = ResidualState::new(&p);
+        let edges: Vec<EdgeId> = p.graph().edge_ids().collect();
+        r.commit_route(&edges[..1], Kbps(400.0));
+        assert_eq!(
+            r.apply_mapping(&venv, &mapping),
+            Err(PlaceError::InsufficientBandwidth)
+        );
+    }
+
+    #[test]
+    fn apply_mapping_tolerates_exact_boundary_fits() {
+        let p = phys();
+        let (venv, mapping) = tenant(&p);
+        // Consume all bandwidth except exactly the tenant's demand via a
+        // partial-sum order that differs from the rebuild order.
+        let edges: Vec<EdgeId> = p.graph().edge_ids().collect();
+        let mut r = ResidualState::new(&p);
+        for _ in 0..3 {
+            r.commit_route(&edges, Kbps(100.0));
+        }
+        r.apply_mapping(&venv, &mapping)
+            .expect("boundary fit must not be refused by float slack");
+        for e in p.graph().edge_ids() {
+            assert!(r.bw(e).value().abs() <= 1e-9);
+        }
     }
 }

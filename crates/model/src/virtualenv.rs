@@ -61,6 +61,14 @@ pub struct VirtualEnvironment {
     csr: OnceLock<CsrAdjacency>,
 }
 
+/// Structural equality on the guest/link graph; the lazily built CSR
+/// snapshot is derived state and deliberately not compared.
+impl PartialEq for VirtualEnvironment {
+    fn eq(&self, other: &Self) -> bool {
+        self.graph == other.graph
+    }
+}
+
 impl VirtualEnvironment {
     /// An empty virtual environment.
     pub fn new() -> Self {

@@ -105,6 +105,44 @@ impl PhaseCounters {
     }
 }
 
+/// The request family a serve session processes — mirrors the JSONL
+/// protocol verbs of `emumap serve` (core depends on this crate, not
+/// vice versa).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// Admit a virtual environment (embed or reject).
+    Apply,
+    /// Tear down a tenant and release its residuals.
+    Remove,
+    /// Report session state without mutating it.
+    Status,
+    /// Snapshot the full testbed state to disk.
+    Save,
+    /// Replace session state from a snapshot.
+    Restore,
+}
+
+/// Session-lifetime counters snapshotted into every
+/// [`TraceEvent::RequestEnd`]. All deterministic — pure functions of the
+/// request stream and seed, so golden-file diffs may include them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeCounters {
+    /// `apply` requests that produced a complete embedding.
+    pub admitted: u64,
+    /// `apply` requests refused (mapper failure or duplicate id).
+    pub rejected: u64,
+    /// `remove` requests that tore down a tenant.
+    pub removed: u64,
+    /// Tenants currently embedded (`admitted - removed`, adjusted by
+    /// `restore`).
+    pub active_tenants: u64,
+    /// Guests currently placed across all active tenants.
+    pub placed_guests: u64,
+    /// Virtual links currently holding bandwidth on physical routes
+    /// (intra-host links excluded).
+    pub routed_links: u64,
+}
+
 /// Why a link could not be routed — a trace-local mirror of the core
 /// crate's `RouteVerdict` (core depends on this crate, not vice versa).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -183,6 +221,31 @@ pub enum TraceEvent {
         /// Whole-run wall-clock, microseconds. Volatile.
         elapsed_us: u64,
     },
+    /// A serve session began processing one request. Any `MapStart` ..
+    /// `MapEnd` span between this and the matching [`RequestEnd`] belongs
+    /// to the embedded mapper run of an `apply`.
+    RequestStart {
+        /// Monotone per-session request sequence number.
+        seq: u64,
+        /// Protocol verb.
+        kind: RequestKind,
+        /// Tenant id, for `apply`/`remove` requests.
+        tenant: Option<String>,
+    },
+    /// A serve session finished processing one request.
+    RequestEnd {
+        /// Sequence number of the matching [`RequestStart`].
+        seq: u64,
+        /// Whether the request succeeded (`apply` rejections are *not*
+        /// errors — an orderly rejection is `ok: true`; see the admit
+        /// counters for the verdict).
+        ok: bool,
+        /// Request wall-clock, microseconds. Volatile.
+        elapsed_us: u64,
+        /// Session-lifetime admit/reject/teardown counters after this
+        /// request.
+        counters: ServeCounters,
+    },
 }
 
 impl TraceEvent {
@@ -203,6 +266,14 @@ impl TraceEvent {
                 ok,
                 objective,
                 elapsed_us: 0,
+            },
+            TraceEvent::RequestEnd {
+                seq, ok, counters, ..
+            } => TraceEvent::RequestEnd {
+                seq,
+                ok,
+                elapsed_us: 0,
+                counters,
             },
             other => other,
         }
@@ -521,6 +592,46 @@ mod tests {
         );
         let routed = TraceEvent::LinkRouted { link: 3, hops: 2 };
         assert_eq!(routed.redact_volatile(), routed);
+    }
+
+    #[test]
+    fn request_spans_roundtrip_and_redact() {
+        let start = TraceEvent::RequestStart {
+            seq: 7,
+            kind: RequestKind::Apply,
+            tenant: Some("t-7".to_string()),
+        };
+        let end = TraceEvent::RequestEnd {
+            seq: 7,
+            ok: true,
+            elapsed_us: 8123,
+            counters: ServeCounters {
+                admitted: 5,
+                rejected: 1,
+                removed: 2,
+                active_tenants: 3,
+                placed_guests: 40,
+                routed_links: 12,
+            },
+        };
+        for ev in [&start, &end] {
+            let back: TraceEvent =
+                serde_json::from_str(&serde_json::to_string(ev).unwrap()).unwrap();
+            assert_eq!(&back, ev);
+        }
+        assert_eq!(start.redact_volatile(), start, "starts carry no clock");
+        match end.redact_volatile() {
+            TraceEvent::RequestEnd {
+                seq,
+                ok,
+                elapsed_us,
+                counters,
+            } => {
+                assert_eq!((seq, ok, elapsed_us), (7, true, 0));
+                assert_eq!(counters.admitted, 5, "admit counters survive");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
-"""Validate trace JSONL files produced by `emumap map --trace` and
-`emumap batch --trace-dir`.
+"""Validate trace JSONL files produced by `emumap map --trace`,
+`emumap batch --trace-dir`, and `emumap serve --trace`.
 
 Usage: check_traces.py PATH [PATH ...]
 
@@ -24,6 +24,23 @@ file this asserts the structural contract CI relies on:
     exchange is plain multi-start, not tempering) and
     exchange_accepts <= replica_exchanges.
 
+A file containing RequestStart/RequestEnd events is a **serve stream**
+(one span per daemon request) and is held to the session contract
+instead:
+
+  * RequestStart/RequestEnd pairs are properly bracketed, with
+    consecutive seq numbers and no events between requests;
+  * Apply/Remove spans name a tenant; only Apply spans may contain
+    embedded MapStart..MapEnd segments, each of which must satisfy the
+    full map contract above;
+  * RequestEnd counters carry exactly the session counter keys, all
+    non-negative; admitted/rejected/removed are monotonically
+    non-decreasing (re-baselined across Restore spans, which install
+    the snapshot's counters wholesale), removals never exceed
+    admissions, and
+    active_tenants == admitted - removed at every span (the
+    admit/release bookkeeping can never leak a tenant).
+
 Exits non-zero with one line per violation, so a CI failure names the file
 and line.
 """
@@ -41,7 +58,17 @@ EVENT_TAGS = {
     "LinkFailed",
     "MapEnd",
 }
+SERVE_TAGS = {"RequestStart", "RequestEnd"}
 PHASE_ORDER = ["Hosting", "Migration", "Networking", "Exact"]
+REQUEST_KINDS = {"Apply", "Remove", "Status", "Save", "Restore"}
+SERVE_COUNTER_KEYS = {
+    "admitted",
+    "rejected",
+    "removed",
+    "active_tenants",
+    "placed_guests",
+    "routed_links",
+}
 
 
 def check_file(path: pathlib.Path) -> list[str]:
@@ -61,7 +88,7 @@ def check_file(path: pathlib.Path) -> list[str]:
             errors.append(f"{path}:{i}: expected a single-key event object")
             continue
         tag = next(iter(obj))
-        if tag not in EVENT_TAGS:
+        if tag not in EVENT_TAGS | SERVE_TAGS:
             errors.append(f"{path}:{i}: unknown event tag {tag!r}")
             continue
         events.append((i, tag, obj[tag]))
@@ -69,6 +96,16 @@ def check_file(path: pathlib.Path) -> list[str]:
     if not events:
         return errors or [f"{path}: no events"]
 
+    if any(tag in SERVE_TAGS for _, tag, _ in events):
+        errors.extend(check_serve_stream(path, events))
+    else:
+        errors.extend(check_map_stream(path, events))
+    return errors
+
+
+def check_map_stream(path: pathlib.Path, events: list) -> list[str]:
+    """One mapper run: MapStart .. MapEnd with bracketed, ordered phases."""
+    errors: list[str] = []
     if events[0][1] != "MapStart":
         errors.append(f"{path}:{events[0][0]}: stream must open with MapStart")
     if events[-1][1] != "MapEnd":
@@ -127,6 +164,101 @@ def check_file(path: pathlib.Path) -> list[str]:
                     )
     if open_phase is not None:
         errors.append(f"{path}: phase {open_phase} never closed")
+    return errors
+
+
+def check_serve_stream(path: pathlib.Path, events: list) -> list[str]:
+    """A daemon session: consecutive request spans, each optionally
+    wrapping complete map segments, with leak-free counter bookkeeping."""
+    errors: list[str] = []
+    if events[0][1] != "RequestStart":
+        errors.append(f"{path}:{events[0][0]}: serve stream must open with RequestStart")
+    if events[-1][1] != "RequestEnd":
+        errors.append(f"{path}:{events[-1][0]}: serve stream must close with RequestEnd")
+
+    open_req = None  # (line, seq, kind)
+    prev_seq = None
+    prev_counters = None
+    segment: list = []
+    for i, tag, body in events:
+        if tag == "RequestStart":
+            if open_req is not None:
+                errors.append(f"{path}:{i}: RequestStart while request {open_req[1]} is open")
+            seq, kind = body.get("seq"), body.get("kind")
+            if not isinstance(seq, int) or (prev_seq is not None and seq != prev_seq + 1):
+                errors.append(f"{path}:{i}: seq {seq!r} does not follow {prev_seq}")
+            if kind not in REQUEST_KINDS:
+                errors.append(f"{path}:{i}: unknown request kind {kind!r}")
+            if kind in ("Apply", "Remove") and not isinstance(body.get("tenant"), str):
+                errors.append(f"{path}:{i}: {kind} span names no tenant")
+            open_req = (i, seq, kind)
+            segment = []
+        elif tag == "RequestEnd":
+            if open_req is None:
+                errors.append(f"{path}:{i}: RequestEnd with no open request")
+                continue
+            if body.get("seq") != open_req[1]:
+                errors.append(
+                    f"{path}:{i}: RequestEnd seq {body.get('seq')!r} does not "
+                    f"match open request {open_req[1]}"
+                )
+            if not isinstance(body.get("ok"), bool):
+                errors.append(f"{path}:{i}: bad ok flag {body.get('ok')!r}")
+            elapsed = body.get("elapsed_us")
+            if not isinstance(elapsed, int) or elapsed < 0:
+                errors.append(f"{path}:{i}: bad elapsed_us {elapsed!r}")
+            counters = body.get("counters")
+            if (
+                not isinstance(counters, dict)
+                or set(counters) != SERVE_COUNTER_KEYS
+                or any(not isinstance(v, int) or v < 0 for v in counters.values())
+            ):
+                errors.append(f"{path}:{i}: bad serve counters {counters!r}")
+            else:
+                # A Restore span installs the snapshot's counters wholesale,
+                # which may legitimately rewind past churn — re-baseline
+                # monotonicity there instead of flagging it.
+                if prev_counters is not None and open_req[2] != "Restore":
+                    for key in ("admitted", "rejected", "removed"):
+                        if counters[key] < prev_counters[key]:
+                            errors.append(
+                                f"{path}:{i}: counter {key} went backwards "
+                                f"({prev_counters[key]} -> {counters[key]})"
+                            )
+                if counters["removed"] > counters["admitted"]:
+                    errors.append(
+                        f"{path}:{i}: removed {counters['removed']} exceeds "
+                        f"admitted {counters['admitted']}"
+                    )
+                if counters["active_tenants"] != counters["admitted"] - counters["removed"]:
+                    errors.append(
+                        f"{path}:{i}: active_tenants {counters['active_tenants']} != "
+                        f"admitted - removed (a tenant leaked)"
+                    )
+                prev_counters = counters
+            if segment:
+                errors.append(
+                    f"{path}:{i}: request {open_req[1]} left an unclosed map segment"
+                )
+            prev_seq = open_req[1] if isinstance(open_req[1], int) else prev_seq
+            open_req = None
+        else:
+            # A mapper event: only legal inside an Apply span, as part of
+            # a complete MapStart..MapEnd segment.
+            if open_req is None:
+                errors.append(f"{path}:{i}: {tag} outside any request span")
+                continue
+            if open_req[2] != "Apply":
+                errors.append(f"{path}:{i}: {tag} inside a {open_req[2]} span")
+                continue
+            if tag == "MapStart" and segment:
+                errors.append(f"{path}:{i}: nested MapStart inside request {open_req[1]}")
+            segment.append((i, tag, body))
+            if tag == "MapEnd":
+                errors.extend(check_map_stream(path, segment))
+                segment = []
+    if open_req is not None:
+        errors.append(f"{path}: request {open_req[1]} never closed")
     return errors
 
 

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Generate the pinned 500-request churn trace for the serve-soak CI job.
+
+Usage: gen_serve_trace.py > tests/data/serve_soak_requests.jsonl
+
+Emits one `emumap serve` request per line: tenant arrivals (the compact
+generator form, so the trace stays tiny and self-contained), departures
+picked from the outstanding set, periodic `status` probes, one
+`save`/`restore` round-trip through `soak/snapshot.json`, and one
+deliberately unknown verb (pinning the protocol-error response). The
+stream ends by removing every outstanding tenant, a final `status`
+(which the CI gate asserts reports zero tenants and zero leaked
+capacity), and `shutdown`.
+
+Determinism: a self-contained xorshift64* generator, no `random` module,
+so the byte stream is identical on every Python 3. CI re-runs this
+script and diffs against the committed file before replaying it, so the
+trace, its golden responses, and this generator can never drift apart.
+
+Departures are drawn from every tenant ever *applied* (the script cannot
+know which admissions the server will grant); removing a tenant the
+server rejected yields a deterministic `error` response, which the
+golden file pins like any other line.
+"""
+
+import json
+import sys
+
+TOTAL = 500
+STATUS_EVERY = 50
+MASK = (1 << 64) - 1
+
+
+class XorShift:
+    """xorshift64* — tiny, seedable, version-independent."""
+
+    def __init__(self, seed: int):
+        self.state = (seed & MASK) or 0x9E3779B97F4A7C15
+
+    def next(self) -> int:
+        x = self.state
+        x ^= (x >> 12) & MASK
+        x = (x ^ (x << 25)) & MASK
+        x ^= (x >> 27) & MASK
+        self.state = x
+        return (x * 0x2545F4914F6CDD1D) & MASK
+
+    def below(self, n: int) -> int:
+        return self.next() % n
+
+
+def main() -> int:
+    rng = XorShift(0x5EED2009)
+    lines: list[str] = []
+    outstanding: list[str] = []
+    next_id = 0
+
+    def emit(obj: dict) -> None:
+        lines.append(json.dumps(obj, separators=(",", ":")))
+
+    # Churn until the drain (one remove per outstanding tenant, final
+    # status, shutdown) would no longer fit in the 500-line budget.
+    while len(lines) + len(outstanding) + 2 < TOTAL:
+        room_for_arrival = len(lines) + len(outstanding) + 4 <= TOTAL
+        if lines and len(lines) % STATUS_EVERY == 0:
+            emit({"status": {}})
+        elif len(lines) == 201:
+            # Pin the protocol-failure path once, at a fixed spot.
+            emit({"ping": {}})
+        elif len(lines) == 301:
+            emit({"save": {"path": "soak/snapshot.json"}})
+        elif len(lines) == 302:
+            emit({"restore": {"path": "soak/snapshot.json"}})
+        elif room_for_arrival and (not outstanding or rng.below(100) < 65):
+            tenant = f"t{next_id:04d}"
+            next_id += 1
+            emit(
+                {
+                    "apply": {
+                        "id": tenant,
+                        "workload": "low" if rng.below(4) == 0 else "high",
+                        "guests": 2 + rng.below(10),
+                        "density": (rng.below(30) + 1) / 100,
+                        "seed": rng.next(),
+                    }
+                }
+            )
+            outstanding.append(tenant)
+        else:
+            tenant = outstanding.pop(rng.below(len(outstanding)))
+            emit({"remove": {"id": tenant}})
+
+    # Drain: tear every outstanding tenant down, prove the cluster is
+    # pristine, and stop the daemon.
+    for tenant in outstanding:
+        emit({"remove": {"id": tenant}})
+    outstanding.clear()
+    while len(lines) < TOTAL - 2:
+        emit({"status": {}})
+    emit({"status": {}})
+    emit({"shutdown": {}})
+
+    assert len(lines) == TOTAL, f"generated {len(lines)} lines, wanted {TOTAL}"
+    sys.stdout.write("\n".join(lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,11 +57,12 @@ pub use emumap_workloads as workloads;
 pub mod prelude {
     pub use emumap_core::{
         cluster_diagnostics, diagnose_route, residual_stddev_lower_bound, solve_exact,
-        solve_exact_with, AStarPruneConfig, Annealing, AnnealingConfig, BestFit,
-        ClusterDiagnostics, ConsolidatingHmn, ExactConfig, ExactOutcome, ExactSolution, ExactStats,
-        ExactStatus, FirstFitDecreasing, HeuristicPool, Hmn, HmnConfig, HmnKsp, HostingDfs,
-        HostingPolicy, LinkOrder, MapCache, MapError, MapOutcome, MapStats, Mapper,
-        MigrationPolicy, PathMetric, PoolPolicy, RandomAStar, RandomDfs, RouteVerdict, WorstFit,
+        solve_exact_with, AStarPruneConfig, AdmitReport, Annealing, AnnealingConfig, ApplyOutcome,
+        BestFit, ClusterDiagnostics, ConsolidatingHmn, ExactConfig, ExactOutcome, ExactSolution,
+        ExactStats, ExactStatus, FirstFitDecreasing, HeuristicPool, Hmn, HmnConfig, HmnKsp,
+        HostingDfs, HostingPolicy, LinkOrder, MapCache, MapError, MapOutcome, MapStats, Mapper,
+        MigrationPolicy, PathMetric, PoolPolicy, RandomAStar, RandomDfs, RemoveReport,
+        RouteVerdict, ServeError, Session, Snapshot, StatusReport, TenantRecord, WorstFit,
     };
     pub use emumap_graph::{generators, EdgeId, Graph, NodeId};
     pub use emumap_model::{
