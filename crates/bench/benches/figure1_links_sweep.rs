@@ -34,7 +34,7 @@ fn bench_links_sweep(c: &mut Criterion) {
                     run_one(
                         &inst.phys,
                         &inst.venv,
-                        MapperKind::Hmn,
+                        MapperKind::HMN,
                         inst.mapper_seed,
                         200,
                         false,

@@ -1,0 +1,218 @@
+//! Randomized-rounding mapper benchmark: LP-relaxation quality and
+//! end-to-end cost of `--mapper rr` on the paper's testbed.
+//!
+//! Two measurements, both seeded and reproducible:
+//!
+//! 1. **Feasibility + wall-clock on the Figure 1 grid** — the high-level
+//!    scenario rows (guest:host ratios × link densities) on both paper
+//!    clusters, mapped by RR through `run_grid`. The share of repetitions
+//!    that produce a valid mapping is the feasibility rate CI gates at
+//!    ≥ 90%: rounding a fractional solution is only useful if the
+//!    repair stages almost always land it.
+//! 2. **Empirical approximation ratio on the oracle smoke family** — RR
+//!    (and HMN, for context) against the certified optimum of
+//!    `oracle_smoke` instances via the differential cross-checker. CI
+//!    gates the RR mean at ≤ 2.0× optimal.
+//!
+//! Writes `results/BENCH_rounding.json`. Quick mode
+//! (`EMUMAP_BENCH_QUICK=1`) thins the grid and the seed set but keeps
+//! both clusters and the tightest-density row.
+
+use emumap_bench::crosscheck::{CrossCheck, TrialWitness};
+use emumap_bench::runner::{run_grid, MapperKind, RunConfig};
+use emumap_core::{ExactStatus, Hmn, MapCache, Mapper, RandomizedRounding};
+use emumap_workloads::{oracle_smoke, Scenario, WorkloadKind};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One grid cell's summary.
+#[derive(Serialize)]
+struct CellSummary {
+    scenario: String,
+    cluster: String,
+    successes: usize,
+    failures: usize,
+    mean_objective: Option<f64>,
+    mean_map_time_s: Option<f64>,
+}
+
+/// One oracle-certified instance's ratios.
+#[derive(Serialize)]
+struct RatioSample {
+    seed: u64,
+    status: String,
+    rr_ratio: Option<f64>,
+    hmn_ratio: Option<f64>,
+}
+
+#[derive(Serialize)]
+struct RoundingReport {
+    quick: bool,
+    reps: u32,
+    grid_trials: usize,
+    grid_successes: usize,
+    feasibility_rate: f64,
+    grid_wall_s: f64,
+    cells: Vec<CellSummary>,
+    ratio_seeds: usize,
+    ratio_certified: usize,
+    rr_mean_ratio: Option<f64>,
+    rr_max_ratio: Option<f64>,
+    hmn_mean_ratio: Option<f64>,
+    ratio_wall_s: f64,
+    samples: Vec<RatioSample>,
+}
+
+fn figure1_grid(quick: bool) -> Vec<Scenario> {
+    // The Figure 1 rows: high-level workloads across the paper's ratio
+    // sweep. Quick mode keeps the tightest density (0.015 generates the
+    // most virtual links per guest pair drawn) and the full ratio sweep.
+    let densities: &[f64] = if quick {
+        &[0.015]
+    } else {
+        &[0.015, 0.02, 0.025]
+    };
+    let mut rows = Vec::new();
+    for &density in densities {
+        for &ratio in &[2.5, 5.0, 7.5, 10.0] {
+            rows.push(Scenario {
+                ratio,
+                density,
+                workload: WorkloadKind::HighLevel,
+            });
+        }
+    }
+    rows
+}
+
+fn mean(xs: &[f64]) -> Option<f64> {
+    (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+fn main() {
+    let quick = std::env::var("EMUMAP_BENCH_QUICK").is_ok();
+
+    // Part 1: feasibility and wall-clock over the Figure 1 grid.
+    let scenarios = figure1_grid(quick);
+    let reps = if quick { 3 } else { 10 };
+    let config = RunConfig {
+        reps,
+        ..Default::default()
+    };
+    let t_grid = Instant::now();
+    let cells = run_grid(&scenarios, &[MapperKind::RR], &config);
+    let grid_wall_s = t_grid.elapsed().as_secs_f64();
+
+    let grid_successes: usize = cells.iter().map(|c| c.successes.len()).sum();
+    let grid_trials: usize = cells.iter().map(|c| c.successes.len() + c.failures).sum();
+    let feasibility_rate = grid_successes as f64 / grid_trials.max(1) as f64;
+    let cell_summaries: Vec<CellSummary> = cells
+        .iter()
+        .map(|c| CellSummary {
+            scenario: c.scenario.clone(),
+            cluster: c.cluster.label().to_string(),
+            successes: c.successes.len(),
+            failures: c.failures,
+            mean_objective: c.mean_objective(),
+            mean_map_time_s: c.mean_map_time(),
+        })
+        .collect();
+    eprintln!(
+        "[rounding] grid: {grid_successes}/{grid_trials} feasible ({:.1}%) in {grid_wall_s:.2}s",
+        100.0 * feasibility_rate
+    );
+
+    // Part 2: approximation ratio against the certified optimum.
+    let seeds: Vec<u64> = if quick {
+        (1..=6).collect()
+    } else {
+        (1..=20).collect()
+    };
+    let check = CrossCheck::default();
+    let mut cache = MapCache::new();
+    let mut samples = Vec::new();
+    let mut rr_ratios = Vec::new();
+    let mut hmn_ratios = Vec::new();
+    let t_ratio = Instant::now();
+    for &seed in &seeds {
+        let (phys, venv) = oracle_smoke(seed);
+        let mut trials = Vec::new();
+        for mapper in [
+            Box::new(RandomizedRounding::new()) as Box<dyn Mapper>,
+            Box::new(Hmn::new()),
+        ] {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            if let Ok(out) = mapper.map_with_cache(&phys, &venv, &mut rng, &mut cache) {
+                trials.push(TrialWitness {
+                    mapper: mapper.name().to_string(),
+                    objective: out.objective,
+                    mapping: out.mapping,
+                });
+            }
+        }
+        let report = check.certify(&phys, &venv, &trials, &mut cache);
+        assert!(
+            report.ok(),
+            "seed {seed}: differential disagreement: {:?}",
+            report.disagreements
+        );
+        let rr = report.mean_ratio("RR");
+        let hmn = report.mean_ratio("HMN");
+        if let Some(r) = rr {
+            rr_ratios.push(r);
+        }
+        if let Some(r) = hmn {
+            hmn_ratios.push(r);
+        }
+        samples.push(RatioSample {
+            seed,
+            status: format!("{:?}", report.outcome.status),
+            rr_ratio: rr,
+            hmn_ratio: hmn,
+        });
+        if report.outcome.status != ExactStatus::Optimal {
+            eprintln!(
+                "[rounding] seed {seed}: oracle {:?}, no ratio",
+                report.outcome.status
+            );
+        }
+    }
+    let ratio_wall_s = t_ratio.elapsed().as_secs_f64();
+    let ratio_certified = rr_ratios.len();
+    let rr_mean_ratio = mean(&rr_ratios);
+    let rr_max_ratio = rr_ratios
+        .iter()
+        .copied()
+        .fold(None, |m: Option<f64>, r| Some(m.map_or(r, |m| m.max(r))));
+    let hmn_mean_ratio = mean(&hmn_ratios);
+    eprintln!(
+        "[rounding] ratio: {ratio_certified}/{} certified, rr mean {:?} max {:?}, hmn mean {:?} ({ratio_wall_s:.2}s)",
+        seeds.len(),
+        rr_mean_ratio,
+        rr_max_ratio,
+        hmn_mean_ratio,
+    );
+
+    let report = RoundingReport {
+        quick,
+        reps,
+        grid_trials,
+        grid_successes,
+        feasibility_rate,
+        grid_wall_s,
+        cells: cell_summaries,
+        ratio_seeds: seeds.len(),
+        ratio_certified,
+        rr_mean_ratio,
+        rr_max_ratio,
+        hmn_mean_ratio,
+        ratio_wall_s,
+        samples,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_rounding.json", json).expect("write results/BENCH_rounding.json");
+    eprintln!("[rounding] report -> results/BENCH_rounding.json");
+}

@@ -70,7 +70,7 @@ fn main() {
             let Some(m) = run_one_cached(
                 &inst.phys,
                 &inst.venv,
-                MapperKind::Hmn,
+                MapperKind::HMN,
                 inst.mapper_seed,
                 args.config.max_attempts,
                 false,

@@ -44,7 +44,7 @@ fn main() {
     // second in all scenarios."
     let switched_max = cells
         .iter()
-        .filter(|c| c.cluster == Cluster::Switched && c.mapper == MapperKind::Hmn)
+        .filter(|c| c.cluster == Cluster::Switched && c.mapper == MapperKind::HMN)
         .filter_map(|c| c.mean_map_time())
         .fold(0.0f64, f64::max);
     println!(

@@ -56,12 +56,30 @@ pub struct CrossCheckReport {
     pub outcome: ExactOutcome,
     /// Human-readable disagreements; empty means the instance certifies.
     pub disagreements: Vec<String>,
+    /// Empirical approximation ratios — one `(mapper, objective ÷
+    /// certified optimum)` pair per trial, in trial order. Populated only
+    /// when the oracle proved [`ExactStatus::Optimal`]; a zero-objective
+    /// optimum (perfect balance) yields ratio 1.0 for trials that also
+    /// reach zero and `f64::INFINITY` otherwise.
+    pub ratios: Vec<(String, f64)>,
 }
 
 impl CrossCheckReport {
     /// `true` when every trial agreed with the oracle.
     pub fn ok(&self) -> bool {
         self.disagreements.is_empty()
+    }
+
+    /// Mean approximation ratio of the named mapper over this report's
+    /// certified trials (`None` when nothing certified for it).
+    pub fn mean_ratio(&self, mapper: &str) -> Option<f64> {
+        let of: Vec<f64> = self
+            .ratios
+            .iter()
+            .filter(|(m, _)| m == mapper)
+            .map(|&(_, r)| r)
+            .collect();
+        (!of.is_empty()).then(|| of.iter().sum::<f64>() / of.len() as f64)
     }
 }
 
@@ -124,9 +142,29 @@ impl CrossCheck {
             }
         }
 
+        // A certified optimum turns every witness objective into an
+        // empirical approximation ratio — the quantity CI gates for the
+        // randomized-rounding mapper.
+        let mut ratios = Vec::new();
+        if outcome.status == ExactStatus::Optimal {
+            if let Some(best) = &outcome.best {
+                for t in trials {
+                    let ratio = if best.objective > EPSILON {
+                        t.objective / best.objective
+                    } else if t.objective <= EPSILON {
+                        1.0
+                    } else {
+                        f64::INFINITY
+                    };
+                    ratios.push((t.mapper.clone(), ratio));
+                }
+            }
+        }
+
         CrossCheckReport {
             outcome,
             disagreements,
+            ratios,
         }
     }
 }
@@ -163,6 +201,38 @@ mod tests {
         assert!(report.outcome.best.is_some());
         let best = report.outcome.best.as_ref().unwrap();
         assert!(best.objective <= trials[0].objective + EPSILON);
+    }
+
+    #[test]
+    fn optimal_certification_reports_approximation_ratios() {
+        use emumap_core::RandomizedRounding;
+        let (phys, venv) = oracle_smoke(2009);
+        let mut trials = Vec::new();
+        for mapper in [
+            Box::new(Hmn::new()) as Box<dyn Mapper>,
+            Box::new(RandomizedRounding::new()),
+        ] {
+            let mut rng = SmallRng::seed_from_u64(7);
+            let out = mapper.map(&phys, &venv, &mut rng).expect("smoke maps");
+            trials.push(TrialWitness {
+                mapper: mapper.name().to_string(),
+                objective: out.objective,
+                mapping: out.mapping,
+            });
+        }
+        let report = CrossCheck::default().certify(&phys, &venv, &trials, &mut MapCache::new());
+        assert!(report.ok(), "disagreements: {:?}", report.disagreements);
+        assert_eq!(report.outcome.status, ExactStatus::Optimal);
+        assert_eq!(report.ratios.len(), trials.len());
+        for (mapper, ratio) in &report.ratios {
+            assert!(
+                *ratio >= 1.0 - EPSILON,
+                "{mapper} ratio {ratio} below 1.0: beats the certified optimum"
+            );
+        }
+        let rr = report.mean_ratio("RR").expect("RR certified");
+        assert!(rr.is_finite());
+        assert!(report.mean_ratio("nope").is_none());
     }
 
     #[test]

@@ -85,10 +85,10 @@ pub fn render_table(
 ) -> String {
     let idx = index_cells(cells);
     let mappers = [
-        MapperKind::Hmn,
+        MapperKind::HMN,
         MapperKind::R,
-        MapperKind::Ra,
-        MapperKind::Hs,
+        MapperKind::RA,
+        MapperKind::HS,
     ];
     let mut out = String::new();
     let _ = writeln!(out, "### {title}");
@@ -176,8 +176,8 @@ mod tests {
     #[test]
     fn renders_values_and_dashes() {
         let cells = vec![
-            cell("2.5:1 0.015", Cluster::Torus, MapperKind::Hmn, Some(573.9)),
-            cell("2.5:1 0.015", Cluster::Torus, MapperKind::Hs, None),
+            cell("2.5:1 0.015", Cluster::Torus, MapperKind::HMN, Some(573.9)),
+            cell("2.5:1 0.015", Cluster::Torus, MapperKind::HS, None),
         ];
         let table = render_table(
             "objective",

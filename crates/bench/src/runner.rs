@@ -8,7 +8,7 @@
 
 use crate::parallel::ParallelRunner;
 use crate::stats;
-use emumap_core::{Hmn, HostingDfs, MapCache, Mapper, RandomAStar, RandomDfs};
+use emumap_core::{MapCache, Mapper, MapperConfig, MapperEntry};
 use emumap_model::{PhysicalTopology, VirtualEnvironment};
 use emumap_sim::{run_experiment, ExperimentSpec};
 use emumap_workloads::{instantiate_both, ClusterSpec, Scenario};
@@ -17,49 +17,88 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// The four heuristics of the evaluation, in the tables' column order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum MapperKind {
-    /// The paper's heuristic.
-    Hmn,
-    /// Random placement + DFS routing.
-    R,
-    /// Random placement + A\*Prune routing.
-    Ra,
-    /// Hosting + DFS routing.
-    Hs,
+/// A handle to one mapper in the core registry — the bench harness
+/// registers nothing itself; any mapper added to
+/// [`emumap_core::MAPPERS`] is immediately benchable.
+///
+/// Serialized as the registry key (`"hmn"`, `"rr"`, …), so result files
+/// stay readable and stable as the registry grows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MapperKind {
+    key: &'static str,
 }
 
 impl MapperKind {
-    /// All four, in Table 2/3 column order.
+    /// The paper's heuristic.
+    pub const HMN: MapperKind = MapperKind { key: "hmn" };
+    /// Random placement + DFS routing.
+    pub const R: MapperKind = MapperKind { key: "r" };
+    /// Random placement + A\*Prune routing.
+    pub const RA: MapperKind = MapperKind { key: "ra" };
+    /// Hosting + DFS routing.
+    pub const HS: MapperKind = MapperKind { key: "hs" };
+    /// The randomized-rounding LP mapper.
+    pub const RR: MapperKind = MapperKind { key: "rr" };
+
+    /// The evaluation's four heuristics, in Table 2/3 column order.
     pub const ALL: [MapperKind; 4] = [
-        MapperKind::Hmn,
+        MapperKind::HMN,
         MapperKind::R,
-        MapperKind::Ra,
-        MapperKind::Hs,
+        MapperKind::RA,
+        MapperKind::HS,
     ];
 
-    /// The table column header.
+    /// Resolves a registry key ("hmn", "rr", …); `None` when unknown.
+    pub fn from_key(key: &str) -> Option<MapperKind> {
+        emumap_core::find_mapper(key).map(|e| MapperKind { key: e.key })
+    }
+
+    /// Every registered mapper, in registry order.
+    pub fn every() -> impl Iterator<Item = MapperKind> {
+        emumap_core::MAPPERS
+            .iter()
+            .map(|e| MapperKind { key: e.key })
+    }
+
+    fn entry(self) -> &'static MapperEntry {
+        emumap_core::find_mapper(self.key).expect("MapperKind keys come from the registry")
+    }
+
+    /// The registry key (also the CLI `--mapper` spelling).
+    pub fn key(self) -> &'static str {
+        self.key
+    }
+
+    /// The table column header (the mapper's report label).
     pub fn label(self) -> &'static str {
-        match self {
-            MapperKind::Hmn => "HMN",
-            MapperKind::R => "R",
-            MapperKind::Ra => "RA",
-            MapperKind::Hs => "HS",
-        }
+        self.entry().label
+    }
+
+    /// Stable registry position — what harnesses fold into derived seeds
+    /// to keep mappers on disjoint RNG streams.
+    pub fn index(self) -> usize {
+        self.entry().index()
     }
 
     /// Instantiates the mapper with the given retry budget for the
-    /// baselines (ignored by HMN).
+    /// attempt-based mappers (ignored by the deterministic ones).
     pub fn build(self, max_attempts: usize) -> Box<dyn Mapper> {
-        match self {
-            MapperKind::Hmn => Box::new(Hmn::new()),
-            MapperKind::R => Box::new(RandomDfs { max_attempts }),
-            MapperKind::Ra => Box::new(RandomAStar {
-                max_attempts,
-                ..Default::default()
-            }),
-            MapperKind::Hs => Box::new(HostingDfs { max_attempts }),
+        (self.entry().build)(&MapperConfig { max_attempts })
+    }
+}
+
+impl Serialize for MapperKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.key.to_string())
+    }
+}
+
+impl Deserialize for MapperKind {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        match value {
+            serde::Value::Str(s) => MapperKind::from_key(s)
+                .ok_or_else(|| serde::DeError::new(format!("unknown mapper key '{s}'"))),
+            _ => Err(serde::DeError::new("MapperKind: expected a string key")),
         }
     }
 }
@@ -351,7 +390,7 @@ mod tests {
             reps: 2,
             ..Default::default()
         };
-        let cells = run_grid(&scenarios, &[MapperKind::Hmn], &config);
+        let cells = run_grid(&scenarios, &[MapperKind::HMN], &config);
         for cell in &cells {
             assert_eq!(cell.failures, 0);
             assert!(cell.mean_objective().is_some());
@@ -372,8 +411,8 @@ mod tests {
             threads: 3,
             ..Default::default()
         };
-        let a = run_grid(&scenarios, &[MapperKind::Hmn, MapperKind::Ra], &base);
-        let b = run_grid(&scenarios, &[MapperKind::Hmn, MapperKind::Ra], &multi);
+        let a = run_grid(&scenarios, &[MapperKind::HMN, MapperKind::RA], &base);
+        let b = run_grid(&scenarios, &[MapperKind::HMN, MapperKind::RA], &multi);
         for (x, y) in a.iter().zip(b.iter()) {
             // Results fold in input (scenario, rep) order at any thread
             // count, so cell contents match element-for-element unsorted.
@@ -391,7 +430,7 @@ mod tests {
             simulate: true,
             ..Default::default()
         };
-        let cells = run_grid(&scenarios, &[MapperKind::Hmn], &config);
+        let cells = run_grid(&scenarios, &[MapperKind::HMN], &config);
         for cell in &cells {
             for m in &cell.successes {
                 assert!(m.experiment_s.unwrap() > 0.0);

@@ -57,7 +57,7 @@ fn parallel_trials_match_sequential_for_all_heuristics() {
     let run_trial = |&(rep, c, kind): &(u32, usize, MapperKind), cache: &mut MapCache| {
         let (torus, switched) = instantiate_both(&cluster, &scenario, rep, 2009);
         let inst = if c == 0 { &torus } else { &switched };
-        let seed = inst.mapper_seed ^ ((kind as u64) << 56);
+        let seed = inst.mapper_seed ^ ((kind.index() as u64) << 56);
         one_trial(&inst.phys, &inst.venv, kind, seed, cache)
     };
 
@@ -81,6 +81,55 @@ fn parallel_trials_match_sequential_for_all_heuristics() {
             "outcomes diverged at {threads} threads"
         );
     }
+}
+
+#[test]
+fn rounding_mapper_is_deterministic_warm_cold_and_across_threads() {
+    // RR samples its placement from a fractional LP solution with the
+    // trial's seeded RNG and keeps its solver scratch in the cache, so it
+    // gets the same pinned-seed guarantee checks as the paper's four:
+    // bit-identical outcomes warm vs. cold and at 1/4/8 threads.
+    let cluster = ClusterSpec::paper();
+    let scenario = Scenario {
+        ratio: 2.5,
+        density: 0.02,
+        workload: WorkloadKind::HighLevel,
+    };
+    let kind = MapperKind::RR;
+    let mut trials: Vec<(u32, usize)> = Vec::new();
+    for rep in 0..2u32 {
+        for c in 0..2usize {
+            trials.push((rep, c));
+        }
+    }
+    let run_trial = |&(rep, c): &(u32, usize), cache: &mut MapCache| {
+        let (torus, switched) = instantiate_both(&cluster, &scenario, rep, 2009);
+        let inst = if c == 0 { &torus } else { &switched };
+        let seed = inst.mapper_seed ^ ((kind.index() as u64) << 56);
+        one_trial(&inst.phys, &inst.venv, kind, seed, cache)
+    };
+
+    let sequential: Vec<Outcome> = trials
+        .iter()
+        .map(|t| run_trial(t, &mut MapCache::new()))
+        .collect();
+    assert!(
+        sequential.iter().any(Option::is_some),
+        "RR failed every trial; the determinism comparison is vacuous"
+    );
+    for threads in [1, 4, 8] {
+        let parallel =
+            ParallelRunner::new(threads).run(trials.clone(), |t, cache| run_trial(&t, cache));
+        assert_eq!(sequential, parallel, "RR diverged at {threads} threads");
+    }
+    // One warm cache serving every trial twice over must reproduce the
+    // cold-cache reference exactly.
+    let mut warm = MapCache::new();
+    for t in &trials {
+        run_trial(t, &mut warm);
+    }
+    let rewarmed: Vec<Outcome> = trials.iter().map(|t| run_trial(t, &mut warm)).collect();
+    assert_eq!(sequential, rewarmed, "warm scratch changed RR outcomes");
 }
 
 #[test]

@@ -4,9 +4,8 @@ use crate::args::Parsed;
 use emumap_bench::crosscheck::{CrossCheck, TrialWitness};
 use emumap_bench::parallel::ParallelRunner;
 use emumap_core::{
-    cluster_diagnostics, solve_exact_with, Annealing, BestFit, ConsolidatingHmn, ExactConfig,
-    ExactStatus, FirstFitDecreasing, HeuristicPool, Hmn, HostingDfs, MapCache, MapOutcome, Mapper,
-    ParallelTempering, PoolPolicy, RandomAStar, RandomDfs, WorstFit,
+    cluster_diagnostics, mapper_keys, mapper_usage, solve_exact_with, ExactConfig, ExactStatus,
+    Hmn, MapCache, MapOutcome, Mapper, MapperConfig,
 };
 use emumap_model::{validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment};
 use emumap_sim::{run_experiment, ExperimentSpec};
@@ -55,7 +54,7 @@ subcommands:
   gen-venv --workload high|low --guests N --density D [--seed S] -o venv.json
       generate a Table 1 virtual environment
   map --phys phys.json --venv venv.json
-      [--mapper hmn|r|ra|hs|ffd|bf|wf|consolidate|sa|pt|pool]
+      [--mapper hmn|r|ra|hs|ffd|bf|wf|consolidate|ksp|sa|pt|rr|pool]
       [--seed S] [--attempts A] [-o mapping.json] [--trace events.jsonl]
       map the environment; prints objective and stats; on failure prints
       capacity diagnostics (memory/CPU/latency/bandwidth headroom);
@@ -123,43 +122,13 @@ pub(crate) fn write_json<T: serde::Serialize>(path: &str, value: &T) -> Result<(
 }
 
 pub(crate) fn build_mapper(name: &str, attempts: usize) -> Result<Box<dyn Mapper>, CliError> {
-    Ok(match name {
-        "hmn" => Box::new(Hmn::new()),
-        "r" => Box::new(RandomDfs {
-            max_attempts: attempts,
-        }),
-        "ra" => Box::new(RandomAStar {
-            max_attempts: attempts,
-            ..Default::default()
-        }),
-        "hs" => Box::new(HostingDfs {
-            max_attempts: attempts,
-        }),
-        "ffd" => Box::new(FirstFitDecreasing::default()),
-        "bf" => Box::new(BestFit::default()),
-        "wf" => Box::new(WorstFit::default()),
-        "consolidate" => Box::new(ConsolidatingHmn::default()),
-        "sa" => Box::new(Annealing::default()),
-        "pt" => Box::new(ParallelTempering::default()),
-        "pool" => Box::new(HeuristicPool::new(
-            vec![
-                Box::new(Hmn::new()),
-                Box::new(RandomAStar {
-                    max_attempts: attempts,
-                    ..Default::default()
-                }),
-                Box::new(RandomDfs {
-                    max_attempts: attempts,
-                }),
-            ],
-            PoolPolicy::FirstSuccess,
-        )),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown mapper '{other}' (hmn|r|ra|hs|ffd|bf|wf|consolidate|sa|pt|pool)"
-            )))
-        }
-    })
+    // One lookup against the core registry — the CLI registers nothing
+    // itself, so a mapper added there is immediately reachable here.
+    let config = MapperConfig {
+        max_attempts: attempts,
+    };
+    emumap_core::build_mapper(name, &config)
+        .ok_or_else(|| CliError::Usage(format!("unknown mapper '{name}' ({})", mapper_usage())))
 }
 
 /// Runs a parsed command line; returns lines to print on success.
@@ -517,10 +486,8 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
 
     let spec = p.optional("mapper").unwrap_or("hmn");
     let names: Vec<String> = if spec == "all" {
-        ["hmn", "r", "ra", "hs"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        // Every registered mapper, in registry order.
+        mapper_keys().map(|s| s.to_string()).collect()
     } else {
         spec.split(',').map(|s| s.trim().to_string()).collect()
     };
@@ -666,6 +633,18 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
                 trials.len(),
                 bound
             ));
+            // With a certified optimum every witness objective becomes an
+            // empirical approximation ratio; report it per mapper (CI
+            // gates the randomized-rounding mapper's ratio).
+            for name in &names {
+                if let Some(ratio) = report.mean_ratio(name) {
+                    lines.push(format!(
+                        "  ratio {:<10}: {ratio:.3}x optimal (mean over {} certified trial(s))",
+                        name,
+                        report.ratios.iter().filter(|(m, _)| m == name).count()
+                    ));
+                }
+            }
             if !report.ok() {
                 return Err(CliError::Invalid(report.disagreements));
             }
@@ -890,23 +869,25 @@ mod tests {
     }
 
     #[test]
-    fn every_mapper_name_builds() {
-        for name in [
-            "hmn",
-            "r",
-            "ra",
-            "hs",
-            "ffd",
-            "bf",
-            "wf",
-            "consolidate",
-            "sa",
-            "pt",
-            "pool",
-        ] {
+    fn every_registered_mapper_name_builds() {
+        for name in mapper_keys() {
             assert!(build_mapper(name, 10).is_ok(), "{name}");
         }
-        assert!(matches!(build_mapper("nope", 10), Err(CliError::Usage(_))));
+        // The unknown-mapper error enumerates the whole registry, so a
+        // user sees every valid choice (including newly added mappers).
+        let Err(CliError::Usage(msg)) = build_mapper("nope", 10) else {
+            panic!("unknown mapper must be a usage error");
+        };
+        for name in mapper_keys() {
+            assert!(msg.contains(name), "error message omits '{name}': {msg}");
+        }
+    }
+
+    #[test]
+    fn usage_text_lists_every_registered_mapper() {
+        for name in mapper_keys() {
+            assert!(USAGE.contains(name), "USAGE omits mapper '{name}'");
+        }
     }
 
     #[test]
@@ -1010,12 +991,14 @@ mod tests {
             phys_s,
         ])
         .unwrap();
+        // Small instance: `all` now spans the whole registry (SA, PT and
+        // RR included), which debug builds must finish quickly.
         run_tokens(&[
             "gen-venv",
             "--guests",
-            "60",
+            "24",
             "--density",
-            "0.03",
+            "0.05",
             "--seed",
             "2",
             "-o",
@@ -1045,7 +1028,9 @@ mod tests {
         let four = dir.join("t4.json");
         let lines = run_at("1", one.to_str().unwrap());
         run_at("4", four.to_str().unwrap());
-        assert!(lines.iter().any(|l| l.contains("8 trials")), "{lines:?}");
+        let expected = format!("{} trials", 2 * emumap_core::MAPPERS.len());
+        assert!(lines.iter().any(|l| l.contains(&expected)), "{lines:?}");
+        assert!(lines.iter().any(|l| l.contains("rr")), "{lines:?}");
         assert!(lines.iter().any(|l| l.contains("hmn")), "{lines:?}");
         // Wall-clock fields naturally differ; every deterministic field
         // (mapper, rep, seed, ok, objective, routed_links) must not.

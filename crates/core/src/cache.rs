@@ -225,6 +225,67 @@ impl AnnealScratch {
     }
 }
 
+/// Reusable buffers for the randomized-rounding mapper's fractional
+/// solve + rounding loop. The big flat buffers (the guests × hosts
+/// distribution matrix, price and load vectors, the per-iteration cost
+/// row) keep their capacity across runs so the steady-state LP loop
+/// allocates only inside Dijkstra table builds — the same discipline as
+/// [`ArTables`].
+#[derive(Debug, Default)]
+pub struct RoundingScratch {
+    /// The fractional placement `x[g][h]` under refinement.
+    pub(crate) frac: emumap_model::FractionalPlacement,
+    /// Expected per-host resource loads induced by `frac`.
+    pub(crate) loads: emumap_model::ExpectedLoads,
+    /// Multiplicative-weights congestion price per host (dense host index).
+    pub(crate) host_prices: Vec<f64>,
+    /// Congestion price per physical edge (dense edge index).
+    pub(crate) edge_prices: Vec<f64>,
+    /// Expected bandwidth utilization per physical edge this iteration.
+    pub(crate) edge_loads: Vec<f64>,
+    /// Per-guest normalized worst-resource demand per host (guests × hosts).
+    pub(crate) fit_cost: Vec<f64>,
+    /// Current mode (argmax) host per guest, dense host index.
+    pub(crate) modes: Vec<usize>,
+    /// One cost row (hosts long), rebuilt per guest per iteration.
+    pub(crate) cost_row: Vec<f64>,
+    /// Priced-Dijkstra tables rooted at this iteration's mode hosts.
+    pub(crate) priced: Vec<(NodeId, emumap_graph::algo::DijkstraResult)>,
+    /// Sampled placement of the current rounding attempt, by guest index.
+    pub(crate) sampled: Vec<NodeId>,
+    warm: bool,
+    reuses: usize,
+}
+
+impl RoundingScratch {
+    /// Fresh, cold scratch.
+    pub fn new() -> Self {
+        RoundingScratch::default()
+    }
+
+    /// Rounding runs that started on already-warm buffers (every use
+    /// after the first). Surfaced in `MapStats::scratch_reuses`.
+    pub fn reuses(&self) -> usize {
+        self.reuses
+    }
+
+    /// Clears the buffers for a new run, keeping their capacity.
+    pub(crate) fn begin(&mut self) {
+        if self.warm {
+            self.reuses += 1;
+        }
+        self.warm = true;
+        self.host_prices.clear();
+        self.edge_prices.clear();
+        self.edge_loads.clear();
+        self.fit_cost.clear();
+        self.modes.clear();
+        self.cost_row.clear();
+        self.priced.clear();
+        self.sampled.clear();
+    }
+}
+
 /// Everything a worker reuses across mapper calls: topology tables plus
 /// the A\*Prune and DFS scratch buffers.
 ///
@@ -241,6 +302,8 @@ pub struct MapCache {
     pub dfs: DfsScratch,
     /// Annealing-loop buffers (host list, best placement, restore list).
     pub anneal: AnnealScratch,
+    /// Randomized-rounding buffers (fractional matrix, prices, loads).
+    pub rounding: RoundingScratch,
     /// Structured-event tracer; disabled (zero-cost) by default. Attach a
     /// sink with [`Tracer::new`] to stream [`emumap_trace::TraceEvent`]s
     /// from every mapper run through this cache.

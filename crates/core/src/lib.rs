@@ -10,7 +10,12 @@
 //! * the evaluation's baselines (§5): [`RandomDfs`] (R), [`RandomAStar`]
 //!   (RA) and [`HostingDfs`] (HS);
 //! * the future-work extensions (§6): [`ConsolidatingHmn`] (minimize hosts
-//!   used) and [`HeuristicPool`] (select among heuristics per scenario).
+//!   used) and [`HeuristicPool`] (select among heuristics per scenario);
+//! * the extension family beyond the paper — greedy bin-packing baselines,
+//!   [`Annealing`] (SA), [`ParallelTempering`] (PT) and
+//!   [`RandomizedRounding`] (RR, LP relaxation + seeded rounding) — all
+//!   enumerated by the [`MAPPERS`] registry, the single registration site
+//!   every harness surface (CLI, bench, compare, serve) derives from.
 //!
 //! Stages are public ([`hosting`], [`migration`], [`networking`],
 //! [`astar_prune`](mod@astar_prune)) so they can be recombined, benchmarked and ablated
@@ -71,6 +76,8 @@ pub mod networking;
 pub mod parallel;
 mod pool;
 mod random;
+mod registry;
+pub mod rounding;
 pub mod serve;
 mod state;
 pub mod tempering;
@@ -79,7 +86,7 @@ pub use annealing::{Annealing, AnnealingConfig};
 pub use astar_prune::{
     astar_prune, astar_prune_with, AStarPruneConfig, PathMetric, RouteScratch, SearchStats,
 };
-pub use cache::{AnnealScratch, ArTables, MapCache};
+pub use cache::{AnnealScratch, ArTables, MapCache, RoundingScratch};
 pub use consolidation::{drain_stage, ConsolidatingHmn, DrainStats};
 pub use dfs_routing::{
     hop_distances, naive_dfs_route, naive_dfs_route_csr, naive_dfs_route_with, DfsScratch,
@@ -105,6 +112,10 @@ pub use networking::{networking_stage, networking_stage_with, NetworkingStats};
 pub use parallel::{ParallelRunner, PhaseTotals};
 pub use pool::{HeuristicPool, PoolPolicy};
 pub use random::{HostingDfs, RandomAStar, RandomDfs, DEFAULT_MAX_ATTEMPTS};
+pub use registry::{
+    build_mapper, find_mapper, mapper_keys, mapper_usage, MapperConfig, MapperEntry, MAPPERS,
+};
+pub use rounding::{RandomizedRounding, RoundingConfig};
 pub use serve::{
     AdmitReport, ApplyOutcome, RemoveReport, ServeError, Session, Snapshot, StatusReport,
     TenantRecord, SNAPSHOT_VERSION,

@@ -54,6 +54,15 @@ pub struct MapStats {
     /// Parallel tempering: exchange attempts accepted by the Metropolis
     /// criterion.
     pub exchange_accepts: usize,
+    /// Randomized rounding: multiplicative-weights iterations of the
+    /// fractional LP solve (0 for every other mapper).
+    pub lp_iterations: usize,
+    /// Randomized rounding: placement samples drawn from the fractional
+    /// solution before one passed the feasibility prechecks.
+    pub rounding_attempts: usize,
+    /// Randomized rounding: per-guest capacity repairs applied while
+    /// sampling (fallbacks away from the sampled host).
+    pub repairs: usize,
     /// Wall-clock spent in placement (Hosting or random placement).
     pub placement_time: Duration,
     /// Wall-clock spent in the Migration stage.
@@ -94,16 +103,29 @@ impl MapOutcome {
 
 /// A virtual-environment-to-testbed mapper.
 ///
-/// Implementations: [`Hmn`](crate::Hmn) (the paper's contribution),
-/// [`RandomDfs`](crate::RandomDfs) (R), [`RandomAStar`](crate::RandomAStar)
-/// (RA), [`HostingDfs`](crate::HostingDfs) (HS), and the
+/// The full family lives in the [`MapperRegistry`](crate::MAPPERS) — the
+/// single registration site that the CLI, the bench harness, `compare`,
+/// and `serve` all enumerate. As registered there:
+/// [`Hmn`](crate::Hmn) (the paper's contribution),
+/// [`RandomDfs`](crate::RandomDfs) (R),
+/// [`RandomAStar`](crate::RandomAStar) (RA),
+/// [`HostingDfs`](crate::HostingDfs) (HS),
+/// the [`FirstFitDecreasing`](crate::FirstFitDecreasing) /
+/// [`BestFit`](crate::BestFit) / [`WorstFit`](crate::WorstFit)
+/// bin-packing baselines,
+/// the [`ConsolidatingHmn`](crate::ConsolidatingHmn) objective variant,
+/// [`HmnKsp`](crate::HmnKsp) (k-shortest-path routing ablation),
+/// [`Annealing`](crate::Annealing) (SA),
+/// [`ParallelTempering`](crate::ParallelTempering) (PT),
+/// [`RandomizedRounding`](crate::RandomizedRounding) (RR), and the
 /// [`HeuristicPool`](crate::HeuristicPool) combinator.
 ///
 /// `rng` drives any randomized decisions; deterministic mappers (HMN)
 /// ignore it, which keeps the harness interface uniform: every mapper is a
 /// pure function of `(phys, venv, seed)`.
 pub trait Mapper {
-    /// Short identifier used in reports ("HMN", "R", "RA", "HS").
+    /// Short identifier used in reports ("HMN", "R", "RA", "HS", …) —
+    /// matches the mapper's label in the [registry](crate::MAPPERS).
     fn name(&self) -> &str;
 
     /// Attempts to map `venv` onto `phys`.

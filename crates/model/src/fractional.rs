@@ -1,0 +1,320 @@
+//! Fractional-solution accumulators for LP-relaxation mappers.
+//!
+//! The randomized-rounding pipeline (Rost & Schmid's VNEP approximation,
+//! adapted to the paper's Eqs. 1–9) first computes a *fractional*
+//! embedding: every guest carries a probability distribution over
+//! candidate hosts instead of a single assignment. This module holds the
+//! two dense accumulators that represent such a solution —
+//! [`FractionalPlacement`] (the guests × hosts distribution matrix) and
+//! [`ExpectedLoads`] (the per-host expected resource usage it induces) —
+//! kept in `emumap-model` so both the solver (`emumap-core`) and any
+//! analysis tooling share one representation.
+//!
+//! Both types are allocation-disciplined: `reset` reshapes in place and
+//! buffers keep their capacity across runs, so a mapper can park them in
+//! its `MapCache` scratch.
+
+use crate::virtualenv::GuestSpec;
+
+/// A dense guests × hosts matrix of non-negative weights; each row,
+/// once normalized, is one guest's placement distribution.
+///
+/// Rows are stored contiguously (`row(g)` is a slice), hosts are
+/// addressed by their dense *host index* (position in
+/// `PhysicalTopology::hosts()`), not by graph `NodeId` — callers keep the
+/// translation table.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FractionalPlacement {
+    guests: usize,
+    hosts: usize,
+    weights: Vec<f64>,
+}
+
+impl FractionalPlacement {
+    /// An empty matrix; call [`reset`](Self::reset) before use.
+    pub fn new() -> Self {
+        FractionalPlacement::default()
+    }
+
+    /// Reshapes to `guests` × `hosts` and fills every entry with
+    /// `initial`. Keeps the buffer's capacity.
+    pub fn reset(&mut self, guests: usize, hosts: usize, initial: f64) {
+        self.guests = guests;
+        self.hosts = hosts;
+        self.weights.clear();
+        self.weights.resize(guests * hosts, initial);
+    }
+
+    /// Number of guest rows.
+    pub fn guest_count(&self) -> usize {
+        self.guests
+    }
+
+    /// Number of host columns.
+    pub fn host_count(&self) -> usize {
+        self.hosts
+    }
+
+    /// Guest `g`'s weight row.
+    pub fn row(&self, g: usize) -> &[f64] {
+        &self.weights[g * self.hosts..(g + 1) * self.hosts]
+    }
+
+    /// Guest `g`'s weight row, mutable.
+    pub fn row_mut(&mut self, g: usize) -> &mut [f64] {
+        &mut self.weights[g * self.hosts..(g + 1) * self.hosts]
+    }
+
+    /// Rescales row `g` to sum to 1. Returns `false` (leaving the row
+    /// untouched) when the row's mass is too small to normalize — the
+    /// caller decides whether that means "no candidate host".
+    pub fn normalize_row(&mut self, g: usize) -> bool {
+        let row = self.row_mut(g);
+        let sum: f64 = row.iter().sum();
+        if !(sum.is_finite() && sum > f64::MIN_POSITIVE) {
+            return false;
+        }
+        for w in row {
+            *w /= sum;
+        }
+        true
+    }
+
+    /// The host index with the largest weight in row `g` (smallest index
+    /// wins ties, so the choice is deterministic). `None` for an empty
+    /// matrix.
+    pub fn argmax_row(&self, g: usize) -> Option<usize> {
+        let row = self.row(g);
+        let mut best: Option<(usize, f64)> = None;
+        for (h, &w) in row.iter().enumerate() {
+            if best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((h, w));
+            }
+        }
+        best.map(|(h, _)| h)
+    }
+
+    /// Samples a host from row `g` by inverting the cumulative
+    /// distribution at `unit` (a uniform draw in `[0, 1)` supplied by the
+    /// caller, so the RNG stays outside the model crate). Degenerate rows
+    /// (zero or non-finite mass) fall back to [`argmax_row`](Self::argmax_row).
+    pub fn sample_row(&self, g: usize, unit: f64) -> Option<usize> {
+        let row = self.row(g);
+        let sum: f64 = row.iter().sum();
+        if !(sum.is_finite() && sum > f64::MIN_POSITIVE) {
+            return self.argmax_row(g);
+        }
+        let target = unit.clamp(0.0, 1.0) * sum;
+        let mut acc = 0.0;
+        let mut last_positive = None;
+        for (h, &w) in row.iter().enumerate() {
+            if w > 0.0 {
+                acc += w;
+                last_positive = Some(h);
+                if target < acc {
+                    return Some(h);
+                }
+            }
+        }
+        // Rounding left `target` at or past the final cumulative sum;
+        // the last host with positive mass is the correct preimage.
+        last_positive
+    }
+}
+
+/// Expected per-host resource usage induced by a [`FractionalPlacement`]:
+/// `E[load(h)] = Σ_g x[g][h] · demand(g)` for each of the three host
+/// resources. Units follow `GuestSpec` (MIPS / MB / GB) as raw `f64`s —
+/// expectations are fractional even for the integer-backed memory.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExpectedLoads {
+    proc: Vec<f64>,
+    mem: Vec<f64>,
+    stor: Vec<f64>,
+}
+
+impl ExpectedLoads {
+    /// Empty accumulator; call [`reset`](Self::reset) before use.
+    pub fn new() -> Self {
+        ExpectedLoads::default()
+    }
+
+    /// Clears and resizes to `hosts` columns of zero load.
+    pub fn reset(&mut self, hosts: usize) {
+        for col in [&mut self.proc, &mut self.mem, &mut self.stor] {
+            col.clear();
+            col.resize(hosts, 0.0);
+        }
+    }
+
+    /// Number of host columns.
+    pub fn host_count(&self) -> usize {
+        self.proc.len()
+    }
+
+    /// Adds `weight` (a row entry `x[g][h]`) of `guest`'s demand to host
+    /// index `h`.
+    pub fn add(&mut self, h: usize, weight: f64, guest: &GuestSpec) {
+        self.proc[h] += weight * guest.proc.value();
+        self.mem[h] += weight * guest.mem.value() as f64;
+        self.stor[h] += weight * guest.stor.value();
+    }
+
+    /// Accumulates every guest row of `frac` weighted by the guest specs
+    /// (given in row order). Resets first, so the result is a pure
+    /// function of the arguments.
+    pub fn accumulate<'a>(
+        &mut self,
+        frac: &FractionalPlacement,
+        guests: impl IntoIterator<Item = &'a GuestSpec>,
+    ) {
+        self.reset(frac.host_count());
+        for (g, spec) in guests.into_iter().enumerate() {
+            for (h, &w) in frac.row(g).iter().enumerate() {
+                if w > 0.0 {
+                    self.add(h, w, spec);
+                }
+            }
+        }
+    }
+
+    /// Expected CPU load on host index `h`, MIPS.
+    pub fn proc(&self, h: usize) -> f64 {
+        self.proc[h]
+    }
+
+    /// Expected memory load on host index `h`, MB.
+    pub fn mem(&self, h: usize) -> f64 {
+        self.mem[h]
+    }
+
+    /// Expected storage load on host index `h`, GB.
+    pub fn stor(&self, h: usize) -> f64 {
+        self.stor[h]
+    }
+
+    /// The largest of the three utilizations on host `h` against the
+    /// given capacities — the congestion measure a packing-LP solver
+    /// prices. Zero-capacity resources count as fully congested only
+    /// when load is placed on them.
+    pub fn max_utilization(&self, h: usize, cap_proc: f64, cap_mem: f64, cap_stor: f64) -> f64 {
+        let util = |load: f64, cap: f64| {
+            if load <= 0.0 {
+                0.0
+            } else if cap > 0.0 {
+                load / cap
+            } else {
+                f64::INFINITY
+            }
+        };
+        util(self.proc[h], cap_proc)
+            .max(util(self.mem[h], cap_mem))
+            .max(util(self.stor[h], cap_stor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::{MemMb, Mips, StorGb};
+
+    fn frac_2x3(rows: [[f64; 3]; 2]) -> FractionalPlacement {
+        let mut f = FractionalPlacement::new();
+        f.reset(2, 3, 0.0);
+        for (g, row) in rows.iter().enumerate() {
+            f.row_mut(g).copy_from_slice(row);
+        }
+        f
+    }
+
+    #[test]
+    fn reset_reshapes_and_fills() {
+        let mut f = FractionalPlacement::new();
+        f.reset(2, 3, 1.0);
+        assert_eq!((f.guest_count(), f.host_count()), (2, 3));
+        assert_eq!(f.row(1), &[1.0, 1.0, 1.0]);
+        f.reset(1, 2, 0.5);
+        assert_eq!((f.guest_count(), f.host_count()), (1, 2));
+        assert_eq!(f.row(0), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn normalize_row_scales_to_unit_mass() {
+        let mut f = frac_2x3([[2.0, 6.0, 0.0], [0.0, 0.0, 0.0]]);
+        assert!(f.normalize_row(0));
+        assert_eq!(f.row(0), &[0.25, 0.75, 0.0]);
+        assert!(!f.normalize_row(1), "zero row cannot normalize");
+        assert_eq!(f.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_smaller_index() {
+        let f = frac_2x3([[0.3, 0.4, 0.3], [0.5, 0.5, 0.0]]);
+        assert_eq!(f.argmax_row(0), Some(1));
+        assert_eq!(f.argmax_row(1), Some(0));
+    }
+
+    #[test]
+    fn sample_row_inverts_the_cumulative_distribution() {
+        let f = frac_2x3([[0.2, 0.5, 0.3], [0.0, 1.0, 0.0]]);
+        assert_eq!(f.sample_row(0, 0.0), Some(0));
+        assert_eq!(f.sample_row(0, 0.19), Some(0));
+        assert_eq!(f.sample_row(0, 0.21), Some(1));
+        assert_eq!(f.sample_row(0, 0.69), Some(1));
+        assert_eq!(f.sample_row(0, 0.71), Some(2));
+        assert_eq!(f.sample_row(0, 0.999), Some(2));
+        // unit == 1.0 still lands on the last positive-mass host.
+        assert_eq!(f.sample_row(0, 1.0), Some(2));
+        for unit in [0.0, 0.5, 1.0] {
+            assert_eq!(f.sample_row(1, unit), Some(1));
+        }
+    }
+
+    #[test]
+    fn sample_row_degenerate_falls_back_to_argmax() {
+        let f = frac_2x3([[0.0, 0.0, 0.0], [1.0, 2.0, 3.0]]);
+        // Zero mass: argmax of an all-zero row is the first host.
+        assert_eq!(f.sample_row(0, 0.7), Some(0));
+    }
+
+    #[test]
+    fn sample_row_skips_zero_mass_hosts() {
+        let f = frac_2x3([[0.5, 0.0, 0.5], [1.0, 0.0, 0.0]]);
+        assert_eq!(f.sample_row(0, 0.49), Some(0));
+        assert_eq!(f.sample_row(0, 0.51), Some(2));
+    }
+
+    #[test]
+    fn expected_loads_accumulate_demand_weighted_rows() {
+        let f = frac_2x3([[1.0, 0.0, 0.0], [0.25, 0.75, 0.0]]);
+        let guests = [
+            GuestSpec::new(Mips(100.0), MemMb(200), StorGb(10.0)),
+            GuestSpec::new(Mips(40.0), MemMb(80), StorGb(4.0)),
+        ];
+        let mut loads = ExpectedLoads::new();
+        loads.accumulate(&f, guests.iter());
+        assert_eq!(loads.host_count(), 3);
+        assert!((loads.proc(0) - 110.0).abs() < 1e-12);
+        assert!((loads.mem(0) - 220.0).abs() < 1e-12);
+        assert!((loads.stor(0) - 11.0).abs() < 1e-12);
+        assert!((loads.proc(1) - 30.0).abs() < 1e-12);
+        assert_eq!(loads.proc(2), 0.0);
+    }
+
+    #[test]
+    fn max_utilization_takes_the_binding_resource() {
+        let f = frac_2x3([[1.0, 0.0, 0.0], [0.0, 0.0, 0.0]]);
+        let guests = [
+            GuestSpec::new(Mips(50.0), MemMb(900), StorGb(1.0)),
+            GuestSpec::new(Mips(1.0), MemMb(1), StorGb(1.0)),
+        ];
+        let mut loads = ExpectedLoads::new();
+        loads.accumulate(&f, guests.iter());
+        // mem is the binding resource: 900/1000 > 50/100 > 1/100.
+        let u = loads.max_utilization(0, 100.0, 1000.0, 100.0);
+        assert!((u - 0.9).abs() < 1e-12);
+        assert_eq!(loads.max_utilization(1, 100.0, 1000.0, 100.0), 0.0);
+        // Zero capacity with positive load is infinitely congested.
+        assert_eq!(loads.max_utilization(0, 0.0, 1000.0, 100.0), f64::INFINITY);
+    }
+}

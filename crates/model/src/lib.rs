@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod accumulator;
+pub mod fractional;
 mod mapping;
 pub mod objective;
 mod physical;
@@ -55,6 +56,7 @@ pub mod validate;
 mod virtualenv;
 
 pub use accumulator::{ObjectiveAccumulator, REFRESH_INTERVAL};
+pub use fractional::{ExpectedLoads, FractionalPlacement};
 pub use mapping::{Mapping, Route};
 pub use physical::{HostSpec, LinkSpec, PhysNode, PhysicalTopology, VmmOverhead};
 pub use residual::{FeasBitset, PlaceError, ResidualState};

@@ -94,6 +94,18 @@ pub struct PhaseCounters {
     /// Migration (parallel tempering): exchange attempts accepted by the
     /// Metropolis criterion. Deterministic — the swap RNG is seeded.
     pub exchange_accepts: u64,
+    /// Hosting (randomized rounding): multiplicative-weights iterations
+    /// of the fractional packing-LP solver. Deterministic — a pure
+    /// function of the instance and the solver configuration.
+    pub lp_iterations: u64,
+    /// Hosting (randomized rounding): placement samples drawn from the
+    /// fractional solution before one passed the feasibility prechecks.
+    /// Deterministic — driven by the seeded RNG.
+    pub rounding_attempts: u64,
+    /// Hosting (randomized rounding): per-guest repairs applied while
+    /// rounding (capacity fallbacks away from the sampled host).
+    /// Deterministic.
+    pub repairs: u64,
 }
 
 impl PhaseCounters {

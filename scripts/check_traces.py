@@ -22,7 +22,11 @@ file this asserts the structural contract CI relies on:
     exchange invariant: its Migration PhaseEnd reports
     replica_exchanges > 0 (a multi-replica run that never attempts an
     exchange is plain multi-start, not tempering) and
-    exchange_accepts <= replica_exchanges.
+    exchange_accepts <= replica_exchanges;
+  * a successful randomized-rounding trace (MapStart mapper "RR",
+    MapEnd ok) satisfies the rounding invariant: its Hosting PhaseEnd
+    reports lp_iterations >= 1 and rounding_attempts >= 1 (a placement
+    that never solved the LP or never sampled it is not a rounding run).
 
 A file containing RequestStart/RequestEnd events is a **serve stream**
 (one span per daemon request) and is held to the session contract
@@ -112,6 +116,7 @@ def check_map_stream(path: pathlib.Path, events: list) -> list[str]:
         errors.append(f"{path}:{events[-1][0]}: stream must close with MapEnd")
 
     mapper = events[0][2].get("mapper") if events[0][1] == "MapStart" else None
+    map_ok = events[-1][2].get("ok") if events[-1][1] == "MapEnd" else None
     open_phase = None
     last_phase_index = -1
     for i, tag, body in events:
@@ -161,6 +166,20 @@ def check_map_stream(path: pathlib.Path, events: list) -> list[str]:
                     errors.append(
                         f"{path}:{i}: PT trace attempted no replica "
                         "exchanges (multi-start, not tempering)"
+                    )
+            elif phase == "Hosting" and mapper == "RR" and map_ok:
+                # A successful RR run must actually have solved the LP and
+                # sampled it; failures may bail before either counter moves.
+                if counters.get("lp_iterations", 0) < 1:
+                    errors.append(
+                        f"{path}:{i}: successful RR trace ran no LP "
+                        "iterations (placement was not derived from a "
+                        "fractional solution)"
+                    )
+                if counters.get("rounding_attempts", 0) < 1:
+                    errors.append(
+                        f"{path}:{i}: successful RR trace never sampled "
+                        "the fractional solution"
                     )
     if open_phase is not None:
         errors.append(f"{path}: phase {open_phase} never closed")

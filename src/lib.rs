@@ -61,8 +61,9 @@ pub mod prelude {
         BestFit, ClusterDiagnostics, ConsolidatingHmn, ExactConfig, ExactOutcome, ExactSolution,
         ExactStats, ExactStatus, FirstFitDecreasing, HeuristicPool, Hmn, HmnConfig, HmnKsp,
         HostingDfs, HostingPolicy, LinkOrder, MapCache, MapError, MapOutcome, MapStats, Mapper,
-        MigrationPolicy, PathMetric, PoolPolicy, RandomAStar, RandomDfs, RemoveReport,
-        RouteVerdict, ServeError, Session, Snapshot, StatusReport, TenantRecord, WorstFit,
+        MapperConfig, MapperEntry, MigrationPolicy, PathMetric, PoolPolicy, RandomAStar, RandomDfs,
+        RandomizedRounding, RemoveReport, RoundingConfig, RouteVerdict, ServeError, Session,
+        Snapshot, StatusReport, TenantRecord, WorstFit, MAPPERS,
     };
     pub use emumap_graph::{generators, EdgeId, Graph, NodeId};
     pub use emumap_model::{

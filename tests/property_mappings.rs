@@ -109,6 +109,7 @@ fn differential_check(phys: &PhysicalTopology, venv: &VirtualEnvironment, seed: 
                 ..Default::default()
             },
         }),
+        Box::new(RandomizedRounding::default()),
     ];
     let mut witnesses = Vec::new();
     let mut objectives = Vec::new();
@@ -214,6 +215,10 @@ proptest! {
             Box::new(RandomDfs { max_attempts: 20 }),
             Box::new(RandomAStar { max_attempts: 20, ..Default::default() }),
             Box::new(HostingDfs { max_attempts: 20 }),
+            Box::new(RandomizedRounding::with_config(RoundingConfig {
+                max_attempts: 20,
+                ..Default::default()
+            })),
         ];
         for mapper in &mappers {
             let mut rng = SmallRng::seed_from_u64(seed);
