@@ -1,0 +1,326 @@
+//! Oracle gap benchmark: how much further the Lagrangian bound carries
+//! the branch-and-bound oracle than the water-filling bound, at the same
+//! node budget.
+//!
+//! Two measurements, both seeded and reproducible:
+//!
+//! 1. **Certification superset on a memory-tight smoke family** — six
+//!    one-guest-per-host instances where the assignment is forced into a
+//!    matching. Both bounds run at the *same* squeezed node budget; the
+//!    Lagrangian's per-guest priced tables see the memory pressure the
+//!    water-filling bound is blind to, so it must certify a superset of
+//!    the water-filling-certified seeds (pointwise bound dominance plus
+//!    identical branch order make this structural, not statistical). CI
+//!    gates the superset being *strict* in quick mode.
+//! 2. **Certified gaps at paper scale (Figure 1 grid)** — the high-level
+//!    scenario rows at guest:host ratios 2.5 and 10.0 on a 20-host torus
+//!    (50 and 200 guests). An HMN witness seeds the incumbent, then both
+//!    bounds run at the same budget; the report records each side's
+//!    `OracleVerdict` and certified gap. The headline row (≥ 40 guests)
+//!    must be one the water-filling bound leaves Truncated while the
+//!    Lagrangian proves Optimal or reports a strictly tighter gap.
+//!
+//! Writes `results/BENCH_oracle.json`. Quick mode
+//! (`EMUMAP_BENCH_QUICK=1`) shrinks the seed set and node budgets but
+//! keeps both paper rows.
+
+use emumap_bench::crosscheck::OracleVerdict;
+use emumap_core::{solve_exact_with, BoundKind, ExactConfig, ExactStatus, Hmn, MapCache, Mapper};
+use emumap_graph::generators;
+use emumap_model::{
+    GuestSpec, HostSpec, Kbps, LinkSpec, MemMb, Millis, Mips, PhysicalTopology, StorGb, VLinkSpec,
+    VirtualEnvironment, VmmOverhead,
+};
+use emumap_workloads::{instantiate, ClusterSpec, ClusterTopology, Scenario, WorkloadKind};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::time::Instant;
+
+const EPSILON: f64 = 1e-9;
+
+/// One smoke seed run under both bounds at the same node budget.
+#[derive(Serialize)]
+struct SmokeRow {
+    seed: u64,
+    waterfill: OracleVerdict,
+    lagrangian: OracleVerdict,
+}
+
+/// One Figure-1-grid row run under both bounds at the same node budget.
+#[derive(Serialize)]
+struct PaperRow {
+    scenario: String,
+    guests: usize,
+    hosts: usize,
+    hmn_objective: f64,
+    waterfill: OracleVerdict,
+    lagrangian: OracleVerdict,
+}
+
+#[derive(Serialize)]
+struct OracleGapReport {
+    quick: bool,
+    smoke_budget: u64,
+    smoke_rows: Vec<SmokeRow>,
+    waterfill_certified: usize,
+    lagrangian_certified: usize,
+    /// Lagrangian certifies every seed the water-filling bound does.
+    superset: bool,
+    /// …and at least one more.
+    strict_superset: bool,
+    paper_budget: u64,
+    paper_rows: Vec<PaperRow>,
+    wall_s: f64,
+}
+
+/// A memory-tight oracle instance: a 6-host ring of 1 GB hosts and six
+/// ~900 MB guests, so each host takes exactly one guest and the search is
+/// over perfect matchings. CPU demands are heterogeneous enough that the
+/// load-balance objective separates matchings; a sparse virtual chain
+/// adds bandwidth/latency coupling. Fully deterministic in `seed`.
+fn tight_smoke(seed: u64) -> (PhysicalTopology, VirtualEnvironment) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6f72_6163_6c65);
+    // Heterogeneous host CPUs: with uniform hosts a forced matching makes
+    // every placement's residual multiset identical and the bounds cannot
+    // separate. Heterogeneity makes *which* guest lands where matter.
+    let hosts: Vec<HostSpec> = (0..6)
+        .map(|_| {
+            HostSpec::new(
+                Mips(rng.gen_range(1000.0..4000.0)),
+                MemMb(1024),
+                StorGb(2000.0),
+            )
+        })
+        .collect();
+    let phys = PhysicalTopology::from_shape(
+        &generators::ring(6),
+        hosts.into_iter(),
+        LinkSpec::new(Kbps(10_000.0), Millis(5.0)),
+        VmmOverhead::NONE,
+    );
+    let mut venv = VirtualEnvironment::new();
+    let guests: Vec<_> = (0..6)
+        .map(|_| {
+            venv.add_guest(GuestSpec::new(
+                Mips(rng.gen_range(100.0..1200.0)),
+                MemMb(rng.gen_range(850..=950)),
+                StorGb(rng.gen_range(10.0..50.0)),
+            ))
+        })
+        .collect();
+    for pair in guests.windows(2) {
+        venv.add_link(
+            pair[0],
+            pair[1],
+            VLinkSpec::new(
+                Kbps(rng.gen_range(200.0..800.0)),
+                Millis(rng.gen_range(20.0..40.0)),
+            ),
+        );
+    }
+    (phys, venv)
+}
+
+fn solve(
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+    bound: BoundKind,
+    max_nodes: u64,
+    witnesses: &[emumap_model::Mapping],
+    cache: &mut MapCache,
+) -> OracleVerdict {
+    let config = ExactConfig {
+        max_nodes,
+        bound,
+        ..Default::default()
+    };
+    let outcome = solve_exact_with(phys, venv, &config, cache, witnesses);
+    OracleVerdict::from(&outcome)
+}
+
+fn main() {
+    let quick = std::env::var("EMUMAP_BENCH_QUICK").is_ok();
+    let t0 = Instant::now();
+    let mut cache = MapCache::new();
+
+    // Part 1: certification superset on the memory-tight smoke family.
+    // Tuned so the squeeze bites: at 500 nodes the water-filling bound
+    // certifies 2/6 quick seeds (7/20 full) while the Lagrangian reaches
+    // 4/6 (15/20 full) — a strict superset in both modes.
+    let smoke_budget: u64 = 500;
+    let seeds: Vec<u64> = if quick {
+        (1..=6).collect()
+    } else {
+        (1..=20).collect()
+    };
+    let mut smoke_rows = Vec::new();
+    for &seed in &seeds {
+        let (phys, venv) = tight_smoke(seed);
+        let wf = solve(
+            &phys,
+            &venv,
+            BoundKind::Waterfill,
+            smoke_budget,
+            &[],
+            &mut cache,
+        );
+        let lag = solve(
+            &phys,
+            &venv,
+            BoundKind::Lagrangian,
+            smoke_budget,
+            &[],
+            &mut cache,
+        );
+        eprintln!(
+            "[oracle] smoke seed {seed}: waterfill {:?} ({} nodes) | lagrangian {:?} ({} nodes)",
+            wf.status, wf.nodes_expanded, lag.status, lag.nodes_expanded
+        );
+        smoke_rows.push(SmokeRow {
+            seed,
+            waterfill: wf,
+            lagrangian: lag,
+        });
+    }
+    let waterfill_certified = smoke_rows
+        .iter()
+        .filter(|r| r.waterfill.status == ExactStatus::Optimal)
+        .count();
+    let lagrangian_certified = smoke_rows
+        .iter()
+        .filter(|r| r.lagrangian.status == ExactStatus::Optimal)
+        .count();
+    let superset = smoke_rows.iter().all(|r| {
+        r.waterfill.status != ExactStatus::Optimal || r.lagrangian.status == ExactStatus::Optimal
+    });
+    let strict_superset = superset && lagrangian_certified > waterfill_certified;
+    eprintln!(
+        "[oracle] smoke (budget {smoke_budget}): waterfill certifies {waterfill_certified}/{}, \
+         lagrangian certifies {lagrangian_certified}/{} (superset={superset}, strict={strict_superset})",
+        seeds.len(),
+        seeds.len(),
+    );
+    assert!(
+        superset,
+        "lagrangian must certify every waterfill-certified seed at the same budget"
+    );
+    assert!(
+        strict_superset,
+        "lagrangian must certify strictly more seeds than waterfill at budget {smoke_budget}"
+    );
+
+    // Part 2: certified gaps at paper scale.
+    let paper_budget: u64 = if quick { 1_500 } else { 20_000 };
+    let cluster = ClusterSpec {
+        hosts: 20,
+        ..ClusterSpec::paper()
+    };
+    let mut paper_rows = Vec::new();
+    for &ratio in &[2.5, 10.0] {
+        let scenario = Scenario {
+            ratio,
+            density: 0.015,
+            workload: WorkloadKind::HighLevel,
+        };
+        // Scan repetitions until HMN lands a witness: the tightest row
+        // (ratio 10 ≈ 96% memory utilization) is not mappable on every
+        // draw, and the oracle needs a finite incumbent to report a gap.
+        let (instance, hmn) = (0..16)
+            .find_map(|rep| {
+                let instance = instantiate(
+                    &cluster,
+                    ClusterTopology::Torus2D { rows: 4, cols: 5 },
+                    &scenario,
+                    rep,
+                    2009,
+                );
+                let mut rng = SmallRng::seed_from_u64(instance.mapper_seed);
+                Hmn::new()
+                    .map_with_cache(&instance.phys, &instance.venv, &mut rng, &mut cache)
+                    .ok()
+                    .map(|out| (instance, out))
+            })
+            .expect("HMN maps at least one repetition of the paper row");
+        let witnesses = [hmn.mapping];
+        let wf = solve(
+            &instance.phys,
+            &instance.venv,
+            BoundKind::Waterfill,
+            paper_budget,
+            &witnesses,
+            &mut cache,
+        );
+        let lag = solve(
+            &instance.phys,
+            &instance.venv,
+            BoundKind::Lagrangian,
+            paper_budget,
+            &witnesses,
+            &mut cache,
+        );
+        eprintln!(
+            "[oracle] {} ({} guests): waterfill {:?} lb {:?} gap {:?} | lagrangian {:?} lb {:?} gap {:?}",
+            scenario.label(),
+            instance.venv.guest_count(),
+            wf.status,
+            wf.lower_bound,
+            wf.gap,
+            lag.status,
+            lag.lower_bound,
+            lag.gap,
+        );
+        paper_rows.push(PaperRow {
+            scenario: scenario.label(),
+            guests: instance.venv.guest_count(),
+            hosts: cluster.hosts,
+            hmn_objective: hmn.objective,
+            waterfill: wf,
+            lagrangian: lag,
+        });
+    }
+    // The headline acceptance row: at least one ≥ 40-guest instance the
+    // water-filling bound leaves Truncated where the Lagrangian either
+    // certifies Optimal or reports a strictly tighter explicit gap.
+    let headline = paper_rows.iter().any(|r| {
+        r.guests >= 40
+            && r.waterfill.status == ExactStatus::Truncated
+            && (r.lagrangian.status == ExactStatus::Optimal
+                || (r.lagrangian.gap.is_some()
+                    && r.lagrangian.lower_bound.unwrap_or(f64::NEG_INFINITY)
+                        > r.waterfill.lower_bound.unwrap_or(f64::INFINITY) + EPSILON))
+    });
+    assert!(
+        headline,
+        "no ≥40-guest Figure-1 row where waterfill truncates and lagrangian tightens: {:?}",
+        paper_rows
+            .iter()
+            .map(|r| (
+                r.scenario.clone(),
+                r.guests,
+                r.waterfill.status,
+                r.waterfill.lower_bound,
+                r.lagrangian.status,
+                r.lagrangian.lower_bound
+            ))
+            .collect::<Vec<_>>()
+    );
+
+    let wall_s = t0.elapsed().as_secs_f64();
+    let report = OracleGapReport {
+        quick,
+        smoke_budget,
+        smoke_rows,
+        waterfill_certified,
+        lagrangian_certified,
+        superset,
+        strict_superset,
+        paper_budget,
+        paper_rows,
+        wall_s,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::create_dir_all("results").expect("create results/");
+    std::fs::write("results/BENCH_oracle.json", json).expect("write results/BENCH_oracle.json");
+    eprintln!("[oracle] report -> results/BENCH_oracle.json ({wall_s:.2}s)");
+}

@@ -17,6 +17,7 @@
 use emumap_core::exact::EPSILON;
 use emumap_core::{solve_exact_with, ExactConfig, ExactOutcome, ExactStatus, MapCache};
 use emumap_model::{validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment};
+use serde::{Deserialize, Serialize};
 
 /// A heuristic trial result offered for certification: the mapper's name
 /// (for disagreement messages), its Eq. 10 objective, and its mapping.
@@ -62,6 +63,13 @@ pub struct CrossCheckReport {
     /// optimum (perfect balance) yields ratio 1.0 for trials that also
     /// reach zero and `f64::INFINITY` otherwise.
     pub ratios: Vec<(String, f64)>,
+    /// Trials whose objective entered the ratio population (all of them
+    /// when the oracle proved Optimal, none otherwise).
+    pub certified_trials: usize,
+    /// Trials *silently excluded* from the ratios because the oracle
+    /// truncated. Reported so a Truncated-heavy run cannot masquerade as
+    /// a well-certified one.
+    pub truncated_trials: usize,
 }
 
 impl CrossCheckReport {
@@ -161,10 +169,63 @@ impl CrossCheck {
             }
         }
 
+        let certified_trials = ratios.len();
+        let truncated_trials = if outcome.status == ExactStatus::Truncated {
+            trials.len()
+        } else {
+            0
+        };
         CrossCheckReport {
             outcome,
             disagreements,
             ratios,
+            certified_trials,
+            truncated_trials,
+        }
+    }
+}
+
+/// A serializable snapshot of an oracle verdict for bench reports
+/// (`BENCH_oracle.json`): status, incumbent, bound, gap and the headline
+/// effort counters. Non-finite floats (an infinite bound on a certified-
+/// infeasible instance, a missing incumbent) map to `None`, so the JSON
+/// round-trips byte-stably — `serde_json` cannot represent `inf`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OracleVerdict {
+    /// The oracle's status (`Optimal` / `Infeasible` / `Truncated`).
+    pub status: ExactStatus,
+    /// Best feasible objective found, if any.
+    pub incumbent: Option<f64>,
+    /// Certified lower bound; `None` encodes the infinite bound of a
+    /// certified-infeasible instance.
+    pub lower_bound: Option<f64>,
+    /// `incumbent − lower_bound` when both are finite: the width of the
+    /// certified interval (0 for Optimal up to `EPSILON`).
+    pub gap: Option<f64>,
+    /// Search nodes expanded.
+    pub nodes_expanded: u64,
+    /// Lagrangian dual evaluations (0 under the water-filling bound).
+    pub subgradient_iters: u64,
+}
+
+impl From<&ExactOutcome> for OracleVerdict {
+    fn from(outcome: &ExactOutcome) -> Self {
+        let incumbent = outcome.best.as_ref().map(|b| b.objective);
+        let lower_bound = outcome
+            .lower_bound
+            .is_finite()
+            .then_some(outcome.lower_bound);
+        let gap = match (incumbent, lower_bound) {
+            (Some(ub), Some(lb)) => Some((ub - lb).max(0.0)),
+            _ => None,
+        };
+        OracleVerdict {
+            status: outcome.status,
+            incumbent,
+            lower_bound,
+            gap,
+            nodes_expanded: outcome.stats.nodes_expanded,
+            subgradient_iters: outcome.stats.subgradient_iters,
         }
     }
 }
@@ -256,6 +317,97 @@ mod tests {
         // The corrupt witness must NOT have been fed to the oracle as an
         // incumbent.
         assert_eq!(report.outcome.stats.witnesses_accepted, 0);
+    }
+
+    #[test]
+    fn truncated_runs_report_their_excluded_trials() {
+        // A 1-node budget cannot complete any search: every witness must
+        // land in `truncated_trials`, none in the ratio population.
+        let (phys, venv) = oracle_smoke(2009);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let out = Hmn::new().map(&phys, &venv, &mut rng).expect("HMN maps");
+        let trials = vec![TrialWitness {
+            mapper: "HMN".into(),
+            objective: out.objective,
+            mapping: out.mapping,
+        }];
+        let check = CrossCheck {
+            config: ExactConfig {
+                max_nodes: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let report = check.certify(&phys, &venv, &trials, &mut MapCache::new());
+        assert_eq!(report.outcome.status, ExactStatus::Truncated);
+        assert_eq!(report.certified_trials, 0);
+        assert_eq!(report.truncated_trials, 1);
+        assert!(report.ratios.is_empty());
+        assert!(report.mean_ratio("HMN").is_none(), "no inflated mean ratio");
+        // And on an instance the oracle does complete, the counts flip.
+        let full = CrossCheck::default().certify(&phys, &venv, &trials, &mut MapCache::new());
+        assert_eq!(full.outcome.status, ExactStatus::Optimal);
+        assert_eq!(full.certified_trials, 1);
+        assert_eq!(full.truncated_trials, 0);
+    }
+
+    #[test]
+    fn oracle_verdicts_round_trip_byte_stably() {
+        // Satellite contract: BENCH_oracle.json diffs are only meaningful
+        // if serialize(deserialize(json)) == json for every status.
+        let (phys, venv) = oracle_smoke(2009);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let out = Hmn::new().map(&phys, &venv, &mut rng).expect("HMN maps");
+        let trials = vec![TrialWitness {
+            mapper: "HMN".into(),
+            objective: out.objective,
+            mapping: out.mapping,
+        }];
+        let mut verdicts = Vec::new();
+        // Optimal (full run) and Truncated (1-node budget) from real runs…
+        for max_nodes in [u64::MAX, 1] {
+            let check = CrossCheck {
+                config: ExactConfig {
+                    max_nodes,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let report = check.certify(&phys, &venv, &trials, &mut MapCache::new());
+            verdicts.push(OracleVerdict::from(&report.outcome));
+        }
+        // …and Infeasible from a real certified-infeasible instance (the
+        // infinite bound must encode as null, not break the JSON).
+        {
+            use emumap_core::solve_exact;
+            use emumap_model::{GuestSpec, MemMb, Mips, StorGb};
+            let mut huge = VirtualEnvironment::new();
+            huge.add_guest(GuestSpec::new(Mips(1.0), MemMb(1 << 40), StorGb(1.0)));
+            let outcome = solve_exact(&phys, &huge, &ExactConfig::default());
+            assert_eq!(outcome.status, ExactStatus::Infeasible);
+            verdicts.push(OracleVerdict::from(&outcome));
+        }
+        let statuses: Vec<ExactStatus> = verdicts.iter().map(|v| v.status).collect();
+        assert_eq!(
+            statuses,
+            [
+                ExactStatus::Optimal,
+                ExactStatus::Truncated,
+                ExactStatus::Infeasible
+            ]
+        );
+        for v in &verdicts {
+            let json = serde_json::to_string(v).expect("serialize verdict");
+            let back: OracleVerdict = serde_json::from_str(&json).expect("parse verdict");
+            assert_eq!(&back, v);
+            let json2 = serde_json::to_string(&back).expect("re-serialize verdict");
+            assert_eq!(json, json2, "verdict JSON must be byte-stable");
+        }
+        let infeasible = &verdicts[2];
+        assert_eq!(infeasible.lower_bound, None);
+        assert_eq!(infeasible.incumbent, None);
+        let optimal = &verdicts[0];
+        assert!(optimal.gap.expect("finite gap") <= EPSILON);
     }
 
     #[test]

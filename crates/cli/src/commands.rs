@@ -4,8 +4,8 @@ use crate::args::Parsed;
 use emumap_bench::crosscheck::{CrossCheck, TrialWitness};
 use emumap_bench::parallel::ParallelRunner;
 use emumap_core::{
-    cluster_diagnostics, mapper_keys, mapper_usage, solve_exact_with, ExactConfig, ExactStatus,
-    Hmn, MapCache, MapOutcome, Mapper, MapperConfig,
+    cluster_diagnostics, mapper_keys, mapper_usage, solve_exact_with, BoundKind, ExactConfig,
+    ExactStatus, Hmn, MapCache, MapOutcome, Mapper, MapperConfig,
 };
 use emumap_model::{validate_mapping, Mapping, PhysicalTopology, VirtualEnvironment};
 use emumap_sim::{run_experiment, ExperimentSpec};
@@ -66,17 +66,20 @@ subcommands:
       [--rounds N] [--work-factor F] [--msg-kbits K]
       run the emulated experiment and print its execution time
   exact --phys phys.json --venv venv.json | exact --smoke SEED
-      [--seed S] [--max-nodes N] [--trace events.jsonl] [-o mapping.json]
+      [--seed S] [--max-nodes N] [--bound waterfill|lagrangian]
+      [--trace events.jsonl] [-o mapping.json]
       certify the optimal Eq. 10 objective by branch-and-bound (small
       instances only: the search is exponential in the guest count),
       seeding HMN's mapping as the incumbent; prints the certified
       optimum, the admissible lower bound, search counters and HMN's
-      optimality gap; --smoke SEED uses a built-in 6-host/8-guest
-      instance instead of --phys/--venv
+      optimality gap; --bound picks the pruning bound (default
+      lagrangian: priced per-guest tables + subgradient ascent, never
+      weaker than waterfill); --smoke SEED uses a built-in
+      6-host/8-guest instance instead of --phys/--venv
   batch --phys phys.json --venv venv.json
       [--mapper NAME[,NAME..]|all] [--reps N] [--seed S] [--threads T]
       [--attempts A] [-o trials.json] [--trace-dir DIR] [--exact-check G]
-      [--quiet]
+      [--exact-max-nodes N] [--quiet]
       run repeated mapping trials across a worker pool (per-worker warm
       caches; deterministic at any thread count) and print per-mapper
       success rates, mean objective and mean mapping time; --trace-dir
@@ -84,8 +87,10 @@ subcommands:
       --exact-check G cross-checks every successful trial against the
       exact oracle when the instance has at most G guests (an invalid
       mapping, a refuted infeasibility or an objective below the
-      certified lower bound fails the run); the stderr progress line is
-      suppressed by --quiet or when stderr is not a tty
+      certified lower bound fails the run), reporting certified k/n and
+      truncated witness counts honestly; --exact-max-nodes caps the
+      oracle's search budget; the stderr progress line is suppressed by
+      --quiet or when stderr is not a tty
   serve --phys phys.json
       [--mapper hmn|sa|pt|...] [--seed S] [--attempts A]
       [--socket path.sock] [--trace events.jsonl]
@@ -301,6 +306,16 @@ fn map_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     Ok(lines)
 }
 
+fn parse_bound_kind(p: &Parsed) -> Result<BoundKind, CliError> {
+    match p.optional("bound").unwrap_or("lagrangian") {
+        "lagrangian" => Ok(BoundKind::Lagrangian),
+        "waterfill" => Ok(BoundKind::Waterfill),
+        other => Err(CliError::Usage(format!(
+            "--bound expects 'waterfill' or 'lagrangian', got '{other}'"
+        ))),
+    }
+}
+
 fn exact_status_str(status: ExactStatus) -> &'static str {
     match status {
         ExactStatus::Optimal => "OPTIMAL (certified)",
@@ -323,10 +338,12 @@ fn exact_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         ),
     };
     let seed: u64 = p.parse_or("seed", 2009).map_err(CliError::Usage)?;
+    let bound = parse_bound_kind(p)?;
     let config = ExactConfig {
         max_nodes: p
             .parse_or("max-nodes", ExactConfig::default().max_nodes)
             .map_err(CliError::Usage)?,
+        bound,
         ..Default::default()
     };
 
@@ -383,6 +400,12 @@ fn exact_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         s.pruned_capacity,
         s.pruned_latency
     ));
+    if config.bound == BoundKind::Lagrangian {
+        lines.push(format!(
+            "lagrangian      : {} dual evaluations, {} bound improvements, {} extra prunes",
+            s.subgradient_iters, s.bound_improvements, s.pruned_lagrangian
+        ));
+    }
     lines.push(format!(
         "leaf routing    : {} attempted, {} failed, {} witness(es) accepted",
         s.leaf_routings, s.routing_failures, s.witnesses_accepted
@@ -483,6 +506,9 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         .parse_or("attempts", emumap_core::DEFAULT_MAX_ATTEMPTS)
         .map_err(CliError::Usage)?;
     let exact_check: usize = p.parse_or("exact-check", 0).map_err(CliError::Usage)?;
+    let exact_max_nodes: u64 = p
+        .parse_or("exact-max-nodes", ExactConfig::default().max_nodes)
+        .map_err(CliError::Usage)?;
 
     let spec = p.optional("mapper").unwrap_or("hmn");
     let names: Vec<String> = if spec == "all" {
@@ -608,7 +634,13 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         ));
     }
     if exact_check > 0 {
-        let check = CrossCheck::new(exact_check);
+        let check = CrossCheck {
+            max_guests: exact_check,
+            config: ExactConfig {
+                max_nodes: exact_max_nodes,
+                ..Default::default()
+            },
+        };
         if check.applies(&venv) {
             let trials: Vec<TrialWitness> = records
                 .iter()
@@ -628,9 +660,11 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
                 "∞".to_string()
             };
             lines.push(format!(
-                "exact-check     : {} — {} witness(es) certified against lower bound {}",
+                "exact-check     : {} — certified {}/{} witness(es), {} truncated, lower bound {}",
                 exact_status_str(report.outcome.status),
+                report.certified_trials,
                 trials.len(),
+                report.truncated_trials,
                 bound
             ));
             // With a certified optimum every witness objective becomes an
@@ -1427,8 +1461,74 @@ mod tests {
         .expect("batch with exact-check");
         let text = lines.join("\n");
         assert!(text.contains("exact-check"), "{text}");
-        assert!(text.contains("witness(es) certified"), "{text}");
+        assert!(
+            text.contains("certified 4/4 witness(es), 0 truncated"),
+            "{text}"
+        );
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn batch_exact_check_reports_truncated_witnesses_honestly() {
+        let dir = tmpdir();
+        let phys = dir.join("phys.json");
+        let venv = dir.join("venv.json");
+        let (p, v) = emumap_workloads::oracle_smoke(3);
+        write_json(phys.to_str().unwrap(), &p).unwrap();
+        write_json(venv.to_str().unwrap(), &v).unwrap();
+        let lines = run_tokens(&[
+            "batch",
+            "--phys",
+            phys.to_str().unwrap(),
+            "--venv",
+            venv.to_str().unwrap(),
+            "--mapper",
+            "hmn,ffd",
+            "--reps",
+            "2",
+            "--threads",
+            "2",
+            "--exact-check",
+            "10",
+            "--exact-max-nodes",
+            "2",
+        ])
+        .expect("batch with truncated exact-check");
+        let text = lines.join("\n");
+        assert!(text.contains("TRUNCATED"), "{text}");
+        assert!(
+            text.contains("certified 0/4 witness(es), 4 truncated"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("x optimal"),
+            "no ratios without certificates: {text}"
+        );
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn exact_bound_waterfill_runs_without_lagrangian_work() {
+        let lines =
+            run_tokens(&["exact", "--smoke", "2009", "--bound", "waterfill"]).expect("exact");
+        let text = lines.join("\n");
+        assert!(text.contains("OPTIMAL (certified)"), "{text}");
+        assert!(!text.contains("lagrangian"), "{text}");
+    }
+
+    #[test]
+    fn exact_bound_lagrangian_reports_dual_evaluations() {
+        let lines =
+            run_tokens(&["exact", "--smoke", "2009", "--bound", "lagrangian"]).expect("exact");
+        let text = lines.join("\n");
+        assert!(text.contains("OPTIMAL (certified)"), "{text}");
+        assert!(text.contains("dual evaluations"), "{text}");
+    }
+
+    #[test]
+    fn exact_rejects_unknown_bound_kind() {
+        let err = run_tokens(&["exact", "--smoke", "2009", "--bound", "simplex"]).unwrap_err();
+        assert!(format!("{err}").contains("--bound expects"), "{err}");
     }
 
     #[test]

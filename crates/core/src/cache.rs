@@ -304,6 +304,9 @@ pub struct MapCache {
     pub anneal: AnnealScratch,
     /// Randomized-rounding buffers (fractional matrix, prices, loads).
     pub rounding: RoundingScratch,
+    /// Lagrangian-bound buffers (priced tables, multipliers, gradients)
+    /// for the exact oracle.
+    pub lagrangian: crate::lagrangian::LagrangianScratch,
     /// Structured-event tracer; disabled (zero-cost) by default. Attach a
     /// sink with [`Tracer::new`] to stream [`emumap_trace::TraceEvent`]s
     /// from every mapper run through this cache.

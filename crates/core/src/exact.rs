@@ -36,17 +36,34 @@ use crate::cache::MapCache;
 use crate::hmn::elapsed_us;
 use crate::hosting::links_by_descending_bw;
 use crate::ksp_routing::networking_stage_ksp_with;
+use crate::lagrangian::{lagrangian_bound, tightest_peer_bounds, LagrangianConfig, NodeView};
 use crate::networking::networking_stage_with;
 use crate::state::PlacementState;
 use emumap_graph::NodeId;
 use emumap_model::objective::mapping_objective;
 use emumap_model::{validate_mapping, GuestId, Mapping, PhysicalTopology, VirtualEnvironment};
 use emumap_trace::{Phase, PhaseCounters, TraceEvent};
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// Tolerance for objective comparisons: two values closer than this are
 /// considered equal, so "optimal" means optimal up to `EPSILON`.
 pub const EPSILON: f64 = 1e-9;
+
+/// Which admissible lower bound the search prunes with.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BoundKind {
+    /// The water-filling relaxation alone ([`residual_stddev_lower_bound`]):
+    /// cheap, but blind to memory/storage/bandwidth/latency.
+    Waterfill,
+    /// The Lagrangian decomposition of [`crate::lagrangian`] (default):
+    /// priced per-guest assignment tables with exact fit/latency
+    /// restrictions and subgradient ascent, floored at the water-filling
+    /// bound — never weaker, usually much stronger under tight
+    /// constraints.
+    #[default]
+    Lagrangian,
+}
 
 /// Configuration of the branch-and-bound oracle.
 #[derive(Clone, Copy, Debug)]
@@ -54,6 +71,11 @@ pub struct ExactConfig {
     /// Search nodes expanded before the search gives up and reports
     /// [`ExactStatus::Truncated`] with the bounds gathered so far.
     pub max_nodes: u64,
+    /// Which lower bound prunes the search.
+    pub bound: BoundKind,
+    /// Subgradient-ascent knobs of the Lagrangian bound (ignored under
+    /// [`BoundKind::Waterfill`]).
+    pub lagrangian: LagrangianConfig,
     /// A\*Prune configuration for leaf routing. The default equals the
     /// heuristics' default, so the oracle accepts every route HMN would.
     pub astar: AStarPruneConfig,
@@ -69,6 +91,8 @@ impl Default for ExactConfig {
     fn default() -> Self {
         ExactConfig {
             max_nodes: 200_000,
+            bound: BoundKind::Lagrangian,
+            lagrangian: LagrangianConfig::default(),
             astar: AStarPruneConfig::default(),
             ksp_fallback: 4,
             use_latency_pruning: true,
@@ -77,7 +101,7 @@ impl Default for ExactConfig {
 }
 
 /// How a [`solve_exact`] run ended.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExactStatus {
     /// The search completed and `lower_bound == best` (within
     /// [`EPSILON`]): the incumbent is the certified optimum.
@@ -109,6 +133,15 @@ pub struct ExactStats {
     pub routing_failures: u64,
     /// Witness mappings accepted as incumbents (see [`solve_exact_with`]).
     pub witnesses_accepted: u64,
+    /// Lagrangian dual evaluations performed (0 under
+    /// [`BoundKind::Waterfill`]; ≥ one per expanded node otherwise).
+    pub subgradient_iters: u64,
+    /// Nodes where the Lagrangian bound strictly exceeded the
+    /// water-filling bound.
+    pub bound_improvements: u64,
+    /// Bound prunes that *only* the Lagrangian bound fired — the
+    /// water-filling bound alone would have kept searching.
+    pub pruned_lagrangian: u64,
 }
 
 impl ExactStats {
@@ -234,7 +267,14 @@ pub fn solve_exact_with(
 ) -> ExactOutcome {
     let start = Instant::now();
     cache.trace.emit(|| TraceEvent::MapStart {
-        mapper: "EXACT".to_string(),
+        // The bound kind is part of the trace contract checked by
+        // scripts/check_traces.py: "EXACT" (Lagrangian, the default) runs
+        // must show subgradient work, "EXACT-WF" runs must show none.
+        mapper: match config.bound {
+            BoundKind::Lagrangian => "EXACT",
+            BoundKind::Waterfill => "EXACT-WF",
+        }
+        .to_string(),
         guests: venv.guest_count() as u64,
         links: venv.link_count() as u64,
     });
@@ -256,6 +296,9 @@ pub fn solve_exact_with(
         counters: PhaseCounters {
             exact_nodes_expanded: outcome.stats.nodes_expanded,
             exact_nodes_pruned: outcome.stats.pruned_total(),
+            subgradient_iters: outcome.stats.subgradient_iters,
+            bound_improvements: outcome.stats.bound_improvements,
+            nodes_pruned_lagrangian: outcome.stats.pruned_lagrangian,
             ..Default::default()
         },
     });
@@ -319,21 +362,7 @@ impl<'a> Search<'a> {
             suffix_mem[d] = suffix_mem[d + 1] + g.mem.value();
             suffix_stor[d] = suffix_stor[d + 1] + g.stor.value();
         }
-        let mut peers = vec![Vec::new(); venv.guest_count()];
-        for l in venv.link_ids() {
-            let (a, b) = venv.link_endpoints(l);
-            if a == b {
-                continue; // self-loops are always intra-host
-            }
-            let lat = venv.link(l).lat.value();
-            for (u, v) in [(a, b), (b, a)] {
-                let list: &mut Vec<(usize, f64)> = &mut peers[u.index()];
-                match list.iter_mut().find(|(p, _)| *p == v.index()) {
-                    Some(entry) => entry.1 = entry.1.min(lat),
-                    None => list.push((v.index(), lat)),
-                }
-            }
-        }
+        let peers = tightest_peer_bounds(venv);
         let r_proc: Vec<f64> = hosts
             .iter()
             .map(|&h| phys.effective_proc(h).value())
@@ -384,7 +413,55 @@ impl<'a> Search<'a> {
 
     fn run(&mut self, cache: &mut MapCache) {
         cache.topo.prepare(self.phys);
+        if self.config.bound == BoundKind::Lagrangian {
+            // Also resets the multipliers: the bound must be a pure
+            // function of the instance, whatever the cache history.
+            cache
+                .lagrangian
+                .prepare(self.phys, &self.hosts, self.venv.guest_count());
+        }
         self.dfs(0, cache);
+    }
+
+    /// The admissible lower bound at the current node. Returns the bound
+    /// together with the plain water-filling value (for the
+    /// improvement/prune attribution counters).
+    fn node_bound(&mut self, depth: usize, cache: &mut MapCache) -> (f64, f64) {
+        let lb_wf = residual_stddev_lower_bound(&self.r_proc, self.suffix_demand[depth]);
+        if self.config.bound != BoundKind::Lagrangian {
+            return (lb_wf, lb_wf);
+        }
+        let MapCache {
+            topo, lagrangian, ..
+        } = cache;
+        let view = NodeView {
+            hosts: &self.hosts,
+            r_proc: &self.r_proc,
+            r_mem: &self.r_mem,
+            r_stor: &self.r_stor,
+            unassigned: &self.order[depth..],
+            slot_of: &self.slot_of,
+            peers: &self.peers,
+            incumbent: self.best,
+            at_root: depth == 0,
+            use_latency: self.config.use_latency_pruning,
+        };
+        let out = lagrangian_bound(
+            self.phys,
+            self.venv,
+            &view,
+            topo,
+            lagrangian,
+            &self.config.lagrangian,
+        );
+        self.stats.subgradient_iters += out.evaluations;
+        // Dominance is structural (the zero-price evaluation reproduces
+        // the water-filling point); the max also absorbs float noise.
+        let lb = out.bound.max(lb_wf);
+        if lb > lb_wf + EPSILON {
+            self.stats.bound_improvements += 1;
+        }
+        (lb, lb_wf)
     }
 
     fn dfs(&mut self, depth: usize, cache: &mut MapCache) {
@@ -394,9 +471,12 @@ impl<'a> Search<'a> {
         }
         self.stats.nodes_expanded += 1;
 
-        let lb = residual_stddev_lower_bound(&self.r_proc, self.suffix_demand[depth]);
+        let (lb, lb_wf) = self.node_bound(depth, cache);
         if lb >= self.best - EPSILON {
             self.stats.pruned_bound += 1;
+            if lb_wf < self.best - EPSILON {
+                self.stats.pruned_lagrangian += 1;
+            }
             return;
         }
         if depth == self.order.len() {
@@ -822,6 +902,106 @@ mod tests {
         assert_eq!(phase_end.exact_nodes_expanded, out.stats.nodes_expanded);
         assert_eq!(phase_end.exact_nodes_pruned, out.stats.pruned_total());
         assert!(out.stats.nodes_expanded > 0);
+    }
+
+    #[test]
+    fn both_bounds_certify_the_same_answer() {
+        // The bound kind changes pruning power, never the verdict: same
+        // status, same certified objective, and the Lagrangian search
+        // visits no more nodes than the water-filling one (its bound is
+        // pointwise >= with an identical branch order).
+        let phys = phys_line(3, &[3000.0, 2000.0, 1000.0]);
+        let venv = chain_venv(
+            &[(400.0, 900), (300.0, 900), (200.0, 900), (100.0, 64)],
+            50.0,
+            80.0,
+        );
+        let lag = solve_exact(&phys, &venv, &ExactConfig::default());
+        let wf = solve_exact(
+            &phys,
+            &venv,
+            &ExactConfig {
+                bound: BoundKind::Waterfill,
+                ..Default::default()
+            },
+        );
+        assert_eq!(lag.status, ExactStatus::Optimal);
+        assert_eq!(wf.status, ExactStatus::Optimal);
+        let (a, b) = (lag.best.unwrap(), wf.best.unwrap());
+        assert!((a.objective - b.objective).abs() <= EPSILON);
+        assert!(
+            lag.stats.nodes_expanded <= wf.stats.nodes_expanded,
+            "lagrangian expanded {} > waterfill {}",
+            lag.stats.nodes_expanded,
+            wf.stats.nodes_expanded
+        );
+        assert!(lag.stats.subgradient_iters >= lag.stats.nodes_expanded);
+    }
+
+    #[test]
+    fn waterfill_bound_reports_no_lagrangian_work() {
+        use emumap_trace::{EventSink, Tracer};
+        use std::sync::{Arc, Mutex};
+
+        struct Capture(Arc<Mutex<Vec<TraceEvent>>>);
+        impl EventSink for Capture {
+            fn record(&mut self, event: TraceEvent) {
+                self.0.lock().unwrap().push(event);
+            }
+        }
+
+        let phys = phys_line(2, &[1000.0, 1000.0]);
+        let venv = chain_venv(&[(100.0, 64), (100.0, 64)], 10.0, 60.0);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let mut cache = MapCache::new();
+        cache.trace = Tracer::new(Box::new(Capture(Arc::clone(&events))));
+        let config = ExactConfig {
+            bound: BoundKind::Waterfill,
+            ..Default::default()
+        };
+        let out = solve_exact_with(&phys, &venv, &config, &mut cache, &[]);
+        assert_eq!(out.stats.subgradient_iters, 0);
+        assert_eq!(out.stats.bound_improvements, 0);
+        assert_eq!(out.stats.pruned_lagrangian, 0);
+        let events = events.lock().unwrap();
+        assert!(matches!(
+            events.first(),
+            Some(TraceEvent::MapStart { mapper, .. }) if mapper == "EXACT-WF"
+        ));
+    }
+
+    #[test]
+    fn lagrangian_prunes_what_waterfill_cannot() {
+        // Memory-tight: each 1024 MB host takes exactly one 900 MB guest,
+        // so CPU cannot be water-filled onto the big host. The Lagrangian
+        // bound sees that and must both improve on the water-filling bound
+        // and fire prunes of its own.
+        let phys = PhysicalTopology::from_shape(
+            &generators::line(4),
+            [4000.0, 1000.0, 1000.0, 1000.0]
+                .iter()
+                .map(|&m| HostSpec::new(Mips(m), MemMb(1024), StorGb(1000.0))),
+            LinkSpec::new(Kbps(10_000.0), Millis(5.0)),
+            VmmOverhead::NONE,
+        );
+        let venv = chain_venv(
+            &[(500.0, 900), (400.0, 900), (300.0, 900), (200.0, 900)],
+            10.0,
+            80.0,
+        );
+        let out = solve_exact(&phys, &venv, &ExactConfig::default());
+        assert_eq!(out.status, ExactStatus::Optimal);
+        assert!(
+            out.stats.bound_improvements > 0,
+            "no bound improvements recorded: {:?}",
+            out.stats
+        );
+        assert!(
+            out.stats.pruned_lagrangian > 0,
+            "no lagrangian-only prunes recorded: {:?}",
+            out.stats
+        );
+        assert!(out.stats.pruned_lagrangian <= out.stats.pruned_bound);
     }
 
     #[test]

@@ -70,6 +70,7 @@ mod greedy;
 mod hmn;
 pub mod hosting;
 pub mod ksp_routing;
+pub mod lagrangian;
 mod mapper;
 pub mod migration;
 pub mod networking;
@@ -97,8 +98,8 @@ pub use diagnostics::{
 };
 pub use error::MapError;
 pub use exact::{
-    residual_stddev_lower_bound, solve_exact, solve_exact_with, ExactConfig, ExactOutcome,
-    ExactSolution, ExactStats, ExactStatus,
+    residual_stddev_lower_bound, solve_exact, solve_exact_with, BoundKind, ExactConfig,
+    ExactOutcome, ExactSolution, ExactStats, ExactStatus,
 };
 pub use greedy::{BestFit, FirstFitDecreasing, WorstFit};
 pub use hmn::{Hmn, HmnConfig, LinkOrder};
@@ -106,6 +107,10 @@ pub use hosting::{
     hosting_stage, hosting_stage_with, links_by_descending_bw, HostingPolicy, HostingStats,
 };
 pub use ksp_routing::{networking_stage_ksp, networking_stage_ksp_with, HmnKsp};
+pub use lagrangian::{
+    lagrangian_bound, lagrangian_bound_for_partial, tightest_peer_bounds, LagrangianBound,
+    LagrangianConfig, LagrangianScratch, NodeView,
+};
 pub use mapper::{MapOutcome, MapStats, Mapper};
 pub use migration::{migration_stage, migration_stage_exhaustive, MigrationPolicy, MigrationStats};
 pub use networking::{networking_stage, networking_stage_with, NetworkingStats};

@@ -106,6 +106,18 @@ pub struct PhaseCounters {
     /// rounding (capacity fallbacks away from the sampled host).
     /// Deterministic.
     pub repairs: u64,
+    /// Exact (Lagrangian bound): dual evaluations performed across the
+    /// search — at least one per expanded node when the Lagrangian bound
+    /// is active, exactly zero under the water-filling bound.
+    /// Deterministic — the ascent is a pure function of the instance.
+    pub subgradient_iters: u64,
+    /// Exact (Lagrangian bound): nodes where the Lagrangian bound
+    /// strictly exceeded the water-filling bound. Deterministic.
+    pub bound_improvements: u64,
+    /// Exact (Lagrangian bound): bound prunes only the Lagrangian bound
+    /// fired (the water-filling bound alone would have kept searching).
+    /// Always ≤ `exact_nodes_pruned`. Deterministic.
+    pub nodes_pruned_lagrangian: u64,
 }
 
 impl PhaseCounters {

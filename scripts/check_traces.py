@@ -26,7 +26,14 @@ file this asserts the structural contract CI relies on:
   * a successful randomized-rounding trace (MapStart mapper "RR",
     MapEnd ok) satisfies the rounding invariant: its Hosting PhaseEnd
     reports lp_iterations >= 1 and rounding_attempts >= 1 (a placement
-    that never solved the LP or never sampled it is not a rounding run).
+    that never solved the LP or never sampled it is not a rounding run);
+  * an oracle trace satisfies the bound contract on its Exact PhaseEnd:
+    nodes_pruned_lagrangian <= exact_nodes_pruned always; a successful
+    Lagrangian-bound run (MapStart mapper "EXACT", MapEnd ok) reports
+    subgradient_iters >= max(1, exact_nodes_expanded) (every expanded
+    node prices at least one dual evaluation — a run that never touched
+    the dual silently fell back to water-filling); a water-filling run
+    (mapper "EXACT-WF") reports all three Lagrangian counters zero.
 
 A file containing RequestStart/RequestEnd events is a **serve stream**
 (one span per daemon request) and is held to the session contract
@@ -180,6 +187,33 @@ def check_map_stream(path: pathlib.Path, events: list) -> list[str]:
                     errors.append(
                         f"{path}:{i}: successful RR trace never sampled "
                         "the fractional solution"
+                    )
+            elif phase == "Exact":
+                subgrad = counters.get("subgradient_iters", 0)
+                improvements = counters.get("bound_improvements", 0)
+                lag_pruned = counters.get("nodes_pruned_lagrangian", 0)
+                pruned = counters.get("exact_nodes_pruned", 0)
+                expanded = counters.get("exact_nodes_expanded", 0)
+                if lag_pruned > pruned:
+                    errors.append(
+                        f"{path}:{i}: nodes_pruned_lagrangian {lag_pruned} > "
+                        f"exact_nodes_pruned {pruned}"
+                    )
+                if mapper == "EXACT" and map_ok and subgrad < max(1, expanded):
+                    errors.append(
+                        f"{path}:{i}: successful Lagrangian oracle run "
+                        f"priced only {subgrad} dual evaluation(s) over "
+                        f"{expanded} expanded node(s) (the bound silently "
+                        "fell back to water-filling)"
+                    )
+                if mapper == "EXACT-WF" and (
+                    subgrad != 0 or improvements != 0 or lag_pruned != 0
+                ):
+                    errors.append(
+                        f"{path}:{i}: water-filling oracle run reports "
+                        f"Lagrangian work (subgradient_iters {subgrad}, "
+                        f"bound_improvements {improvements}, "
+                        f"nodes_pruned_lagrangian {lag_pruned})"
                     )
     if open_phase is not None:
         errors.append(f"{path}: phase {open_phase} never closed")

@@ -56,14 +56,16 @@ pub use emumap_workloads as workloads;
 /// virtual environment, map it, validate, simulate.
 pub mod prelude {
     pub use emumap_core::{
-        cluster_diagnostics, diagnose_route, residual_stddev_lower_bound, solve_exact,
-        solve_exact_with, AStarPruneConfig, AdmitReport, Annealing, AnnealingConfig, ApplyOutcome,
-        BestFit, ClusterDiagnostics, ConsolidatingHmn, ExactConfig, ExactOutcome, ExactSolution,
+        build_mapper, cluster_diagnostics, diagnose_route, lagrangian_bound_for_partial,
+        residual_stddev_lower_bound, solve_exact, solve_exact_with, tightest_peer_bounds,
+        AStarPruneConfig, AdmitReport, Annealing, AnnealingConfig, ApplyOutcome, ArTables, BestFit,
+        BoundKind, ClusterDiagnostics, ConsolidatingHmn, ExactConfig, ExactOutcome, ExactSolution,
         ExactStats, ExactStatus, FirstFitDecreasing, HeuristicPool, Hmn, HmnConfig, HmnKsp,
-        HostingDfs, HostingPolicy, LinkOrder, MapCache, MapError, MapOutcome, MapStats, Mapper,
-        MapperConfig, MapperEntry, MigrationPolicy, PathMetric, PoolPolicy, RandomAStar, RandomDfs,
-        RandomizedRounding, RemoveReport, RoundingConfig, RouteVerdict, ServeError, Session,
-        Snapshot, StatusReport, TenantRecord, WorstFit, MAPPERS,
+        HostingDfs, HostingPolicy, LagrangianBound, LagrangianConfig, LagrangianScratch, LinkOrder,
+        MapCache, MapError, MapOutcome, MapStats, Mapper, MapperConfig, MapperEntry,
+        MigrationPolicy, PathMetric, PoolPolicy, RandomAStar, RandomDfs, RandomizedRounding,
+        RemoveReport, RoundingConfig, RouteVerdict, ServeError, Session, Snapshot, StatusReport,
+        TenantRecord, WorstFit, MAPPERS,
     };
     pub use emumap_graph::{generators, EdgeId, Graph, NodeId};
     pub use emumap_model::{

@@ -98,19 +98,13 @@ fn oracle_config() -> ExactConfig {
 ///    are seeded as witnesses — so a failure implicates the objective or
 ///    the validator, not just the search);
 /// 4. no heuristic objective undercuts the certified lower bound.
+///
+/// Every mapper in the registry runs — the coverage is `MAPPERS` itself,
+/// so a newly registered mapper is differentially tested against the
+/// oracle without touching this file.
 fn differential_check(phys: &PhysicalTopology, venv: &VirtualEnvironment, seed: u64) {
-    let mappers: Vec<Box<dyn Mapper>> = vec![
-        Box::new(Hmn::new()),
-        Box::new(HmnKsp::default()),
-        Box::new(FirstFitDecreasing::default()),
-        Box::new(Annealing {
-            config: AnnealingConfig {
-                iterations: 1_000,
-                ..Default::default()
-            },
-        }),
-        Box::new(RandomizedRounding::default()),
-    ];
+    let config = MapperConfig { max_attempts: 20 };
+    let mappers: Vec<Box<dyn Mapper>> = MAPPERS.iter().map(|e| (e.build)(&config)).collect();
     let mut witnesses = Vec::new();
     let mut objectives = Vec::new();
     for mapper in &mappers {
