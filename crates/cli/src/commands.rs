@@ -67,15 +67,22 @@ subcommands:
       run the emulated experiment and print its execution time
   exact --phys phys.json --venv venv.json | exact --smoke SEED
       [--seed S] [--max-nodes N] [--bound waterfill|lagrangian]
-      [--trace events.jsonl] [-o mapping.json]
+      [--threads T] [--epoch-nodes K] [--root-iters N] [--tree-iters N]
+      [--step F] [--damping F] [--trace events.jsonl] [-o mapping.json]
       certify the optimal Eq. 10 objective by branch-and-bound (small
       instances only: the search is exponential in the guest count),
       seeding HMN's mapping as the incumbent; prints the certified
       optimum, the admissible lower bound, search counters and HMN's
       optimality gap; --bound picks the pruning bound (default
       lagrangian: priced per-guest tables + subgradient ascent, never
-      weaker than waterfill); --smoke SEED uses a built-in
-      6-host/8-guest instance instead of --phys/--venv
+      weaker than waterfill); --threads T >= 1 runs the epoch-parallel
+      engine (verdicts, bounds and counters are bit-identical at every
+      T; 0, the default, is the classic sequential DFS), pulling K
+      frontier nodes per epoch barrier (--epoch-nodes, default 500);
+      --root-iters/--tree-iters/--step/--damping override the
+      subgradient ascent schedule of the lagrangian bound;
+      --smoke SEED uses a built-in 6-host/8-guest instance instead of
+      --phys/--venv
   batch --phys phys.json --venv venv.json
       [--mapper NAME[,NAME..]|all] [--reps N] [--seed S] [--threads T]
       [--attempts A] [-o trials.json] [--trace-dir DIR] [--exact-check G]
@@ -339,11 +346,32 @@ fn exact_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
     };
     let seed: u64 = p.parse_or("seed", 2009).map_err(CliError::Usage)?;
     let bound = parse_bound_kind(p)?;
+    let defaults = ExactConfig::default();
     let config = ExactConfig {
         max_nodes: p
-            .parse_or("max-nodes", ExactConfig::default().max_nodes)
+            .parse_or("max-nodes", defaults.max_nodes)
             .map_err(CliError::Usage)?,
         bound,
+        threads: p
+            .parse_or("threads", defaults.threads)
+            .map_err(CliError::Usage)?,
+        epoch_nodes: p
+            .parse_or("epoch-nodes", defaults.epoch_nodes)
+            .map_err(CliError::Usage)?,
+        lagrangian: emumap_core::LagrangianConfig {
+            root_iters: p
+                .parse_or("root-iters", defaults.lagrangian.root_iters)
+                .map_err(CliError::Usage)?,
+            tree_iters: p
+                .parse_or("tree-iters", defaults.lagrangian.tree_iters)
+                .map_err(CliError::Usage)?,
+            step: p
+                .parse_or("step", defaults.lagrangian.step)
+                .map_err(CliError::Usage)?,
+            tangent_damping: p
+                .parse_or("damping", defaults.lagrangian.tangent_damping)
+                .map_err(CliError::Usage)?,
+        },
         ..Default::default()
     };
 
@@ -400,6 +428,12 @@ fn exact_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
         s.pruned_capacity,
         s.pruned_latency
     ));
+    if config.threads >= 1 {
+        lines.push(format!(
+            "parallel        : {} worker(s), {} epoch(s), {} node(s) stolen, {} incumbent publish(es)",
+            config.threads, s.epochs, s.nodes_stolen, s.incumbent_publishes
+        ));
+    }
     if config.bound == BoundKind::Lagrangian {
         lines.push(format!(
             "lagrangian      : {} dual evaluations, {} bound improvements, {} extra prunes",
@@ -653,7 +687,27 @@ fn batch_cmd(p: &Parsed) -> Result<Vec<String>, CliError> {
                     })
                 })
                 .collect();
+            // The certify call blocks on one oracle solve; bracket it with
+            // the same stderr progress reporting (and --quiet/non-tty
+            // gating) the trial loop uses, so a long exact-check is
+            // visibly alive instead of silent.
+            if progress {
+                eprintln!(
+                    "batch progress  : exact-check certifying {} witness(es) (budget {} nodes)",
+                    trials.len(),
+                    exact_max_nodes
+                );
+            }
+            let check_started = std::time::Instant::now();
             let report = check.certify(&phys, &venv, &trials, &mut MapCache::new());
+            if progress {
+                eprintln!(
+                    "batch progress  : exact-check {} in {:.1}s ({} nodes expanded)",
+                    exact_status_str(report.outcome.status),
+                    check_started.elapsed().as_secs_f64(),
+                    report.outcome.stats.nodes_expanded
+                );
+            }
             let bound = if report.outcome.lower_bound.is_finite() {
                 format!("{:.3}", report.outcome.lower_bound)
             } else {
@@ -1370,6 +1424,69 @@ mod tests {
         assert!(text.contains("nodes expanded"), "{text}");
         assert!(text.contains("HMN objective"), "{text}");
         assert!(text.contains("HMN gap"), "{text}");
+        assert!(!text.contains("parallel"), "sequential run: {text}");
+    }
+
+    #[test]
+    fn exact_threads_report_is_identical_across_counts() {
+        // Byte-identical reports modulo the two thread-count-dependent
+        // lines: the "parallel" line names the worker count and the
+        // stolen-node tally, everything else (verdict, objective, bound,
+        // every search counter) must match exactly.
+        let strip = |lines: Vec<String>| -> Vec<String> {
+            lines
+                .into_iter()
+                .filter(|l| !l.starts_with("parallel"))
+                .collect()
+        };
+        let one = run_tokens(&["exact", "--smoke", "2009", "--threads", "1"]).expect("1 thread");
+        assert!(
+            one.iter()
+                .any(|l| l.starts_with("parallel") && l.contains("1 worker(s)")),
+            "{one:?}"
+        );
+        let four = run_tokens(&["exact", "--smoke", "2009", "--threads", "4"]).expect("4 threads");
+        let eight = run_tokens(&["exact", "--smoke", "2009", "--threads", "8"]).expect("8 threads");
+        let one = strip(one);
+        assert_eq!(one, strip(four));
+        assert_eq!(one, strip(eight));
+        assert!(one.iter().any(|l| l.contains("OPTIMAL (certified)")));
+    }
+
+    #[test]
+    fn exact_subgradient_schedule_is_sweepable_from_the_cli() {
+        // Satellite: the ascent schedule is configuration, not constants —
+        // a deliberately weak schedule must still certify (admissibility
+        // is schedule-independent), just with different effort counters.
+        let weak = run_tokens(&[
+            "exact",
+            "--smoke",
+            "2009",
+            "--root-iters",
+            "2",
+            "--tree-iters",
+            "1",
+            "--step",
+            "0.25",
+            "--damping",
+            "0.3",
+        ])
+        .expect("weak schedule");
+        let text = weak.join("\n");
+        assert!(text.contains("OPTIMAL (certified)"), "{text}");
+        let default = run_tokens(&["exact", "--smoke", "2009"]).expect("default schedule");
+        let evals = |lines: &[String]| {
+            lines
+                .iter()
+                .find(|l| l.starts_with("lagrangian"))
+                .expect("lagrangian line")
+                .clone()
+        };
+        assert_ne!(
+            evals(&weak),
+            evals(&default),
+            "schedule change must alter the dual-evaluation count"
+        );
     }
 
     #[test]

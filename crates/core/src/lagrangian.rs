@@ -81,6 +81,13 @@ pub struct LagrangianConfig {
     /// Step-size scale `θ` of the Polyak rule
     /// `t = θ·(UB − dual)/‖subgradient‖²`, applied per price family.
     pub step: f64,
+    /// Tangent-refresh mixing weight: each ascent iteration re-linearizes
+    /// at `x̂ ← γ·(x̂ + x*)` where `x*` is the relaxed solution's residual
+    /// point. The default `γ = 0.5` is the damped midpoint; any value
+    /// keeps the bound admissible (the tangent inequality holds at every
+    /// `x̂`), so the bench can sweep it without re-tuning correctness
+    /// gates.
+    pub tangent_damping: f64,
 }
 
 impl Default for LagrangianConfig {
@@ -89,6 +96,7 @@ impl Default for LagrangianConfig {
             root_iters: 24,
             tree_iters: 4,
             step: 1.0,
+            tangent_damping: 0.5,
         }
     }
 }
@@ -236,6 +244,50 @@ impl LagrangianScratch {
         }
         self.uidx_of.clear();
         self.uidx_of.resize(guest_count, usize::MAX);
+    }
+
+    /// Length of a packed multiplier snapshot for the prepared host
+    /// count: three price families (λ, ν, β), one slot each per host.
+    pub fn multiplier_len(&self) -> usize {
+        3 * self.lambda_mem.len()
+    }
+
+    /// Packs the current multipliers (`λ ‖ ν ‖ β`) into `out`. This is
+    /// the per-subtree warm-start handoff of the epoch-parallel oracle:
+    /// captured right after a node's bound computation, a snapshot holds
+    /// that node's post-ascent prices, which its children load before
+    /// their own ascent — so a node's bound is a pure function of
+    /// `(node, snapshot-at-entry)`, independent of which worker computed
+    /// the siblings in between.
+    pub fn save_multipliers(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.lambda_mem);
+        out.extend_from_slice(&self.nu_stor);
+        out.extend_from_slice(&self.beta_bw);
+    }
+
+    /// Restores multipliers packed by
+    /// [`save_multipliers`](Self::save_multipliers). `packed` must match
+    /// the prepared host count ([`multiplier_len`](Self::multiplier_len)).
+    pub fn load_multipliers(&mut self, packed: &[f64]) {
+        let n = self.lambda_mem.len();
+        assert_eq!(packed.len(), 3 * n, "packed multipliers match host count");
+        self.lambda_mem.copy_from_slice(&packed[..n]);
+        self.nu_stor.copy_from_slice(&packed[n..2 * n]);
+        self.beta_bw.copy_from_slice(&packed[2 * n..]);
+    }
+
+    /// Zeroes the multipliers — the warm-start state of a node with no
+    /// parent prices (the search root).
+    pub fn reset_multipliers(&mut self) {
+        for v in self
+            .lambda_mem
+            .iter_mut()
+            .chain(self.nu_stor.iter_mut())
+            .chain(self.beta_bw.iter_mut())
+        {
+            *v = 0.0;
+        }
     }
 }
 
@@ -743,7 +795,7 @@ pub fn lagrangian_bound(
             }
             c0 = -mean * mean;
             for i in 0..n {
-                scratch.xhat[i] = 0.5 * (scratch.xhat[i] + scratch.xstar[i]);
+                scratch.xhat[i] = config.tangent_damping * (scratch.xhat[i] + scratch.xstar[i]);
                 c0 += (2.0 * scratch.xhat[i] * view.r_proc[i] - scratch.xhat[i] * scratch.xhat[i])
                     / n as f64;
             }
@@ -1041,6 +1093,84 @@ mod tests {
             &mut LagrangianScratch::new(),
         );
         assert!(out.bound.is_infinite());
+    }
+
+    #[test]
+    fn multiplier_handoff_reproduces_warm_started_bounds() {
+        // The epoch-parallel oracle hands a node's post-ascent prices to
+        // its children as a packed snapshot. A child bound computed after
+        // load_multipliers must be bit-identical to one computed on the
+        // scratch that ran the parent directly — whatever other work the
+        // receiving scratch did in between.
+        let phys = phys_line(3, &[3000.0, 500.0, 500.0], 1024);
+        let venv = chain_venv(&[(300.0, 900), (300.0, 900), (300.0, 900)], 10.0, 40.0);
+        let config = LagrangianConfig::default();
+        let hosts: Vec<NodeId> = phys.hosts().to_vec();
+        let peers = tightest_peer_bounds(&venv);
+        let all: Vec<GuestId> = (0..3).map(GuestId::from_index).collect();
+        let root = NodeView {
+            hosts: &hosts,
+            r_proc: &[3000.0, 500.0, 500.0],
+            r_mem: &[1024, 1024, 1024],
+            r_stor: &[1000.0, 1000.0, 1000.0],
+            unassigned: &all,
+            slot_of: &[None, None, None],
+            peers: &peers,
+            incumbent: 100.0,
+            at_root: true,
+            use_latency: true,
+        };
+        // Child node: guest 0 placed on slot 0.
+        let child = NodeView {
+            hosts: &hosts,
+            r_proc: &[2700.0, 500.0, 500.0],
+            r_mem: &[124, 1024, 1024],
+            r_stor: &[990.0, 1000.0, 1000.0],
+            unassigned: &all[1..],
+            slot_of: &[Some(0), None, None],
+            peers: &peers,
+            incumbent: 100.0,
+            at_root: false,
+            use_latency: true,
+        };
+
+        // Scratch A runs parent then child directly (the sequential way).
+        let mut topo_a = ArTables::new();
+        topo_a.prepare(&phys);
+        let mut a = LagrangianScratch::new();
+        a.prepare(&phys, &hosts, venv.guest_count());
+        let _ = lagrangian_bound(&phys, &venv, &root, &mut topo_a, &mut a, &config);
+        let mut packed = Vec::new();
+        a.save_multipliers(&mut packed);
+        assert_eq!(packed.len(), a.multiplier_len());
+        let direct = lagrangian_bound(&phys, &venv, &child, &mut topo_a, &mut a, &config);
+
+        // Scratch B does unrelated work first, then loads the snapshot.
+        let mut topo_b = ArTables::new();
+        topo_b.prepare(&phys);
+        let mut b = LagrangianScratch::new();
+        b.prepare(&phys, &hosts, venv.guest_count());
+        let other = NodeView {
+            incumbent: 50.0,
+            ..root
+        };
+        let _ = lagrangian_bound(&phys, &venv, &other, &mut topo_b, &mut b, &config);
+        b.load_multipliers(&packed);
+        let handed = lagrangian_bound(&phys, &venv, &child, &mut topo_b, &mut b, &config);
+        assert_eq!(direct.bound.to_bits(), handed.bound.to_bits());
+        assert_eq!(direct.evaluations, handed.evaluations);
+
+        // And a save → reset → load cycle restores the exact prices.
+        let mut again = Vec::new();
+        b.save_multipliers(&mut again);
+        b.reset_multipliers();
+        let mut zeros = Vec::new();
+        b.save_multipliers(&mut zeros);
+        assert!(zeros.iter().all(|&v| v == 0.0));
+        b.load_multipliers(&again);
+        let mut back = Vec::new();
+        b.save_multipliers(&mut back);
+        assert_eq!(again, back);
     }
 
     #[test]

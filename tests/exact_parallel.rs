@@ -1,0 +1,262 @@
+//! Determinism contract of the epoch-parallel exact oracle, on random
+//! instances:
+//!
+//! 1. **Thread-count invariance** — the epoch engine at 1, 4 and 8
+//!    threads produces *bit-identical* verdicts: status, certified lower
+//!    bound (`to_bits`), incumbent objective and placement, and every
+//!    search counter except `nodes_stolen` (which tallies the item→worker
+//!    striping and is the one deliberately thread-count-variant counter).
+//!    This holds under truncating node budgets too — the budget is
+//!    enforced at epoch grain, identically for every worker count.
+//! 2. **Engine agreement** — the sequential DFS (`threads: 0`) and the
+//!    epoch engine explore in different orders, so their effort counters
+//!    may differ, but both are exact: same status, and certified
+//!    objectives/bounds equal up to `EPSILON`.
+//!
+//! The vendored proptest shim has no automatic failure persistence;
+//! `regression_seeds_replay` replays the seeds pinned in
+//! `proptest-regressions/exact_parallel.txt` on every `cargo test`,
+//! mirroring the harness of `bound_dominance.rs`.
+
+use emumap::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const EPS: f64 = 1e-9;
+
+type Case = (PhysicalTopology, VirtualEnvironment);
+
+/// A random heterogeneous instance small enough for the full search to
+/// finish in milliseconds but large enough (up to 4 hosts × 6 guests)
+/// for the frontier to span several epochs at a small epoch size.
+fn build_case(hosts: usize, topo: usize, guests: usize, density: f64, seed: u64) -> Case {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let shape = match topo {
+        0 => generators::ring(hosts),
+        1 => generators::line(hosts),
+        _ => generators::switched_cascade(hosts, 8),
+    };
+    let specs: Vec<HostSpec> = (0..hosts)
+        .map(|_| {
+            HostSpec::new(
+                Mips(rng.gen_range(500.0..3000.0)),
+                MemMb(rng.gen_range(512..2048)),
+                StorGb(rng.gen_range(100.0..1000.0)),
+            )
+        })
+        .collect();
+    let phys = PhysicalTopology::from_shape(
+        &shape,
+        specs.into_iter(),
+        LinkSpec::new(Kbps(10_000.0), Millis(5.0)),
+        VmmOverhead::NONE,
+    );
+    let spec = VirtualEnvSpec {
+        guests,
+        density,
+        mem_mb: Range::new(64.0, 900.0),
+        stor_gb: Range::new(10.0, 120.0),
+        cpu_mips: Range::new(50.0, 800.0),
+        bw_kbps: Range::new(50.0, 500.0),
+        lat_ms: Range::new(10.0, 60.0),
+        distribution: Distribution::Uniform,
+    };
+    let venv = spec.generate(&mut rng);
+    (phys, venv)
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        2usize..=4,   // hosts
+        0usize..3,    // topology selector
+        2usize..=6,   // guests
+        0.0f64..0.6,  // density
+        any::<u64>(), // seed
+    )
+        .prop_map(|(hosts, topo, guests, density, seed)| {
+            build_case(hosts, topo, guests, density, seed)
+        })
+}
+
+/// The stats with the one thread-count-variant counter masked out.
+fn invariant_stats(s: &ExactStats) -> ExactStats {
+    ExactStats {
+        nodes_stolen: 0,
+        ..*s
+    }
+}
+
+fn solve_at(
+    phys: &PhysicalTopology,
+    venv: &VirtualEnvironment,
+    config: ExactConfig,
+) -> ExactOutcome {
+    let mut cache = MapCache::new();
+    solve_exact_with(phys, venv, &config, &mut cache, &[])
+}
+
+/// Bit-equality of two outcomes modulo `nodes_stolen`.
+fn assert_bit_identical(a: &ExactOutcome, b: &ExactOutcome, label: &str) {
+    assert_eq!(a.status, b.status, "{label}: status diverged");
+    assert_eq!(
+        a.lower_bound.to_bits(),
+        b.lower_bound.to_bits(),
+        "{label}: lower bound diverged ({} vs {})",
+        a.lower_bound,
+        b.lower_bound
+    );
+    match (&a.best, &b.best) {
+        (Some(x), Some(y)) => {
+            assert_eq!(
+                x.objective.to_bits(),
+                y.objective.to_bits(),
+                "{label}: incumbent objective diverged"
+            );
+            assert_eq!(
+                x.mapping.placement(),
+                y.mapping.placement(),
+                "{label}: incumbent placement diverged"
+            );
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one thread count found a mapping, the other did not"),
+    }
+    assert_eq!(
+        invariant_stats(&a.stats),
+        invariant_stats(&b.stats),
+        "{label}: counters diverged"
+    );
+}
+
+fn thread_invariance_check(phys: &PhysicalTopology, venv: &VirtualEnvironment) {
+    // Full search: verdicts at 4 and 8 threads must be bit-identical to
+    // 1 thread.
+    let full = |threads| {
+        solve_at(
+            phys,
+            venv,
+            ExactConfig {
+                threads,
+                ..Default::default()
+            },
+        )
+    };
+    let one = full(1);
+    assert_bit_identical(&one, &full(4), "full/4t");
+    assert_bit_identical(&one, &full(8), "full/8t");
+
+    // Truncating budget with a tiny epoch: the budget is enforced at
+    // epoch grain, so the cut must land identically at every count.
+    let truncated = |threads| {
+        solve_at(
+            phys,
+            venv,
+            ExactConfig {
+                threads,
+                max_nodes: 9,
+                epoch_nodes: 4,
+                ..Default::default()
+            },
+        )
+    };
+    let one = truncated(1);
+    assert_bit_identical(&one, &truncated(4), "truncated/4t");
+    assert_bit_identical(&one, &truncated(8), "truncated/8t");
+}
+
+fn engine_agreement_check(phys: &PhysicalTopology, venv: &VirtualEnvironment) {
+    let dfs = solve_at(phys, venv, ExactConfig::default());
+    let epoch = solve_at(
+        phys,
+        venv,
+        ExactConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        dfs.status, epoch.status,
+        "engines disagree on the verdict: {:?} vs {:?}",
+        dfs.status, epoch.status
+    );
+    match (&dfs.best, &epoch.best) {
+        (Some(a), Some(b)) => {
+            assert!(
+                (a.objective - b.objective).abs() <= EPS,
+                "certified objectives diverged: {} vs {}",
+                a.objective,
+                b.objective
+            );
+        }
+        (None, None) => {}
+        _ => panic!("engines disagree on feasibility"),
+    }
+    match (dfs.lower_bound.is_finite(), epoch.lower_bound.is_finite()) {
+        (true, true) => assert!(
+            (dfs.lower_bound - epoch.lower_bound).abs() <= EPS,
+            "certified bounds diverged: {} vs {}",
+            dfs.lower_bound,
+            epoch.lower_bound
+        ),
+        (false, false) => {}
+        _ => panic!(
+            "one engine certified a finite bound, the other did not: {} vs {}",
+            dfs.lower_bound, epoch.lower_bound
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_oracle_is_thread_count_invariant((phys, venv) in arb_case()) {
+        thread_invariance_check(&phys, &venv);
+    }
+
+    #[test]
+    fn parallel_oracle_agrees_with_sequential_dfs((phys, venv) in arb_case()) {
+        engine_agreement_check(&phys, &venv);
+    }
+}
+
+/// Replays every seed pinned in
+/// `proptest-regressions/exact_parallel.txt` (the shim has no automatic
+/// persistence, so this file is the regression memory).
+#[test]
+fn regression_seeds_replay() {
+    let pinned = include_str!("../proptest-regressions/exact_parallel.txt");
+    let mut replayed = 0u32;
+    for line in pinned.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        assert_eq!(parts.next(), Some("cc"), "bad regression line: {line}");
+        let name = parts
+            .next()
+            .unwrap_or_else(|| panic!("missing test name in: {line}"));
+        let seed_tok = parts
+            .next()
+            .unwrap_or_else(|| panic!("missing seed in: {line}"));
+        let seed = u64::from_str_radix(seed_tok.trim_start_matches("0x"), 16)
+            .unwrap_or_else(|e| panic!("bad seed {seed_tok}: {e}"));
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match name {
+            "parallel_oracle_is_thread_count_invariant" => {
+                let (phys, venv) = arb_case().generate(&mut rng);
+                thread_invariance_check(&phys, &venv);
+            }
+            "parallel_oracle_agrees_with_sequential_dfs" => {
+                let (phys, venv) = arb_case().generate(&mut rng);
+                engine_agreement_check(&phys, &venv);
+            }
+            other => panic!("regression file pins unknown test '{other}'"),
+        }
+        replayed += 1;
+    }
+    assert!(replayed > 0, "regression file pinned no cases");
+}
